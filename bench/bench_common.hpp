@@ -1,0 +1,147 @@
+// Shared scaffolding for the figure benchmarks.
+//
+// Every bench binary reproduces one figure of the paper: it runs the
+// corresponding (protocol × parameter × node-count) grid through the bus
+// scenario, registers one google-benchmark per grid point (iterations =
+// seeds, counters = the paper's metrics averaged across seeds), and prints
+// the figure's series as aligned tables after the run.
+//
+// Scale knobs (environment):
+//   DTN_BENCH_SEEDS     seeds per point            (default 2)
+//   DTN_BENCH_DURATION  simulated seconds per run  (default 4000)
+//   DTN_BENCH_NODES_MAX largest node count         (default 240)
+//   DTN_BENCH_FULL=1    paper scale: 10 seeds, 10000 s
+// The paper uses 10 seeds × 10000 s; the defaults keep a full bench run
+// laptop-sized while preserving the figures' shape (see EXPERIMENTS.md).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace dtn::bench {
+
+struct BenchScale {
+  int seeds = 2;
+  double duration_s = 3000.0;
+  std::vector<int> node_counts{40, 80, 120, 160, 200, 240};
+};
+
+inline BenchScale bench_scale() {
+  BenchScale s;
+  if (util::env_int("DTN_BENCH_FULL", 0) == 1) {
+    s.seeds = 10;
+    s.duration_s = 10000.0;
+  }
+  s.seeds = static_cast<int>(util::env_int("DTN_BENCH_SEEDS", s.seeds));
+  s.duration_s = static_cast<double>(
+      util::env_int("DTN_BENCH_DURATION", static_cast<std::int64_t>(s.duration_s)));
+  const auto max_nodes = util::env_int("DTN_BENCH_NODES_MAX", 240);
+  std::vector<int> counts;
+  for (const int n : s.node_counts) {
+    if (n <= max_nodes) counts.push_back(n);
+  }
+  if (!counts.empty()) s.node_counts = counts;
+  return s;
+}
+
+/// Paper-default scenario (Sec. V-A) at the bench scale.
+inline harness::BusScenarioParams paper_scenario(const BenchScale& scale) {
+  harness::BusScenarioParams p;
+  p.duration_s = scale.duration_s;
+  return p;  // WorldConfig / TrafficParams defaults are already the paper's
+}
+
+/// Accumulates per-point results so the figure tables can be printed after
+/// all benchmarks ran.
+class FigureCollector {
+ public:
+  void add(const harness::PointResult& point, const std::string& series) {
+    points_.push_back({series, point});
+  }
+
+  /// Prints rows = node counts, columns = series, one table per metric.
+  void print(const std::string& figure, const std::string& caption) const {
+    std::printf("\n=== %s: %s ===\n", figure.c_str(), caption.c_str());
+    for (const auto metric : {harness::Metric::kDeliveryRatio, harness::Metric::kLatency,
+                              harness::Metric::kGoodput, harness::Metric::kControlMb}) {
+      std::vector<std::string> series_names;
+      std::vector<int> node_counts;
+      for (const auto& [series, point] : points_) {
+        if (std::find(series_names.begin(), series_names.end(), series) ==
+            series_names.end()) {
+          series_names.push_back(series);
+        }
+        if (std::find(node_counts.begin(), node_counts.end(), point.node_count) ==
+            node_counts.end()) {
+          node_counts.push_back(point.node_count);
+        }
+      }
+      std::vector<std::string> headers{"nodes"};
+      for (const auto& s : series_names) headers.push_back(s);
+      util::TablePrinter table(std::move(headers));
+      for (const int n : node_counts) {
+        table.new_row().add_cell(static_cast<long long>(n));
+        for (const auto& s : series_names) {
+          bool found = false;
+          for (const auto& [series, point] : points_) {
+            if (series == s && point.node_count == n) {
+              table.add_cell(harness::metric_value(point, metric),
+                             metric == harness::Metric::kLatency ? 1 : 4);
+              found = true;
+              break;
+            }
+          }
+          if (!found) table.add_cell(std::string("-"));
+        }
+      }
+      std::printf("\n--- %s ---\n%s", harness::metric_name(metric).c_str(),
+                  table.to_string().c_str());
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::pair<std::string, harness::PointResult>> points_;
+};
+
+/// Runs `seeds` simulations of `base` (protocol/nodes already set) inside a
+/// benchmark loop — one iteration per seed — and records the averaged
+/// metrics both as benchmark counters and into `collector`.
+inline void run_point_benchmark(benchmark::State& state,
+                                harness::BusScenarioParams base, int /*seeds*/,
+                                FigureCollector* collector,
+                                const std::string& series) {
+  harness::PointResult point;
+  point.protocol = base.protocol.name;
+  point.node_count = base.node_count;
+  point.copies = base.protocol.copies;
+  point.alpha = base.protocol.alpha;
+  std::uint64_t seed = 1000;
+  for (auto _ : state) {
+    base.seed = seed++;
+    const harness::ScenarioResult r = harness::run_bus_scenario(base);
+    point.delivery_ratio.add(r.metrics.delivery_ratio());
+    point.latency.add(r.metrics.latency_mean());
+    point.goodput.add(r.metrics.goodput());
+    point.control_mb.add(static_cast<double>(r.metrics.control_bytes()) / 1e6);
+    point.relayed.add(static_cast<double>(r.metrics.relayed()));
+    point.contacts.add(static_cast<double>(r.contact_events));
+  }
+  state.counters["delivery_ratio"] = point.delivery_ratio.mean();
+  state.counters["latency_s"] = point.latency.mean();
+  state.counters["goodput"] = point.goodput.mean();
+  state.counters["control_MB"] = point.control_mb.mean();
+  if (collector != nullptr) collector->add(point, series);
+}
+
+}  // namespace dtn::bench

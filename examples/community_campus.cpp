@@ -1,0 +1,53 @@
+// Community scenario: the paper's Sec. IV motivating example ("students in
+// a school are divided into classes") as a runnable experiment. Nodes are
+// community-confined random-waypoint walkers (no bus map); the example
+// compares CR against EER and Spray-and-Wait and shows the community
+// contact asymmetry CR exploits.
+//
+//   ./community_campus
+//   ./community_campus --communities 6 --home-prob 0.95 --nodes 60
+#include <cstdio>
+
+#include "harness/scenario.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtn;
+  const util::Flags flags = util::Flags::parse(argc, argv);
+
+  harness::CommunityScenarioParams base;
+  base.node_count = static_cast<int>(flags.get_int("nodes", 48));
+  base.communities = static_cast<int>(flags.get_int("communities", 4));
+  base.home_prob = flags.get_double("home-prob", 0.88);
+  base.duration_s = flags.get_double("duration", 4000.0);
+  base.world_size_m = flags.get_double("world", 1600.0);
+  base.world.radio_range = 25.0;  // pedestrian radios, denser contacts
+  base.protocol.copies = static_cast<int>(flags.get_int("lambda", 8));
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  std::printf("Campus: %d nodes in %d communities, home-prob %.2f, %.0f s\n\n",
+              base.node_count, base.communities, base.home_prob, base.duration_s);
+
+  util::TablePrinter table({"protocol", "delivery_ratio", "latency_s", "goodput",
+                            "relayed", "control_MB"});
+  for (const std::string protocol : {"CR", "EER", "SprayAndWait", "Epidemic"}) {
+    harness::CommunityScenarioParams p = base;
+    p.protocol.name = protocol;
+    const harness::ScenarioResult r = harness::run_community_scenario(p);
+    table.new_row()
+        .add_cell(protocol)
+        .add_cell(r.metrics.delivery_ratio(), 4)
+        .add_cell(r.metrics.latency_mean(), 1)
+        .add_cell(r.metrics.goodput(), 4)
+        .add_cell(static_cast<double>(r.metrics.relayed()), 0)
+        .add_cell(static_cast<double>(r.metrics.control_bytes()) / 1e6, 2);
+    std::fprintf(stderr, "  done: %s\n", protocol.c_str());
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nCR routes inter-community first (toward the destination's community),\n"
+      "then intra-community with community-scoped MI/MD state — compare its\n"
+      "control_MB column against EER's full link-state exchange.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "core/community.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtn::core {
+
+CommunityTable::CommunityTable(std::vector<int> cid) : cid_(std::move(cid)) {
+  int max_cid = -1;
+  for (const int c : cid_) {
+    if (c < 0) throw std::invalid_argument("CommunityTable: negative community id");
+    max_cid = std::max(max_cid, c);
+  }
+  community_count_ = max_cid + 1;
+  members_.resize(static_cast<std::size_t>(community_count_));
+  for (std::size_t v = 0; v < cid_.size(); ++v) {
+    members_[static_cast<std::size_t>(cid_[v])].push_back(static_cast<NodeIdx>(v));
+  }
+}
+
+}  // namespace dtn::core

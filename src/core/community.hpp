@@ -1,0 +1,39 @@
+// Community membership table (paper Sec. IV). Communities are predefined
+// per the paper's own simplification (Sec. IV fn. 2): every node belongs to
+// exactly one community, identified by a dense integer id.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dtn::core {
+
+using NodeIdx = std::int32_t;
+
+class CommunityTable {
+ public:
+  CommunityTable() = default;
+  /// cid[v] = community of node v; ids must be dense in [0, max_cid].
+  explicit CommunityTable(std::vector<int> cid);
+
+  [[nodiscard]] int community_of(NodeIdx node) const {
+    return cid_.at(static_cast<std::size_t>(node));
+  }
+  [[nodiscard]] int community_count() const noexcept { return community_count_; }
+  [[nodiscard]] NodeIdx node_count() const noexcept {
+    return static_cast<NodeIdx>(cid_.size());
+  }
+  [[nodiscard]] const std::vector<NodeIdx>& members(int community) const {
+    return members_.at(static_cast<std::size_t>(community));
+  }
+  [[nodiscard]] bool same_community(NodeIdx a, NodeIdx b) const {
+    return community_of(a) == community_of(b);
+  }
+
+ private:
+  std::vector<int> cid_;
+  std::vector<std::vector<NodeIdx>> members_;
+  int community_count_ = 0;
+};
+
+}  // namespace dtn::core

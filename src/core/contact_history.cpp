@@ -1,0 +1,62 @@
+#include "core/contact_history.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dtn::core {
+
+double PairHistory::average_interval() const {
+  if (intervals.empty()) return 0.0;
+  const double sum = std::accumulate(intervals.begin(), intervals.end(), 0.0);
+  return sum / static_cast<double>(intervals.size());
+}
+
+const std::vector<double>& PairHistory::sorted_intervals() const {
+  if (cache_dirty_) {
+    sorted_cache_.assign(intervals.begin(), intervals.end());
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    cache_dirty_ = false;
+  }
+  return sorted_cache_;
+}
+
+ContactHistory::ContactHistory(std::size_t window_capacity)
+    : capacity_(window_capacity == 0 ? 1 : window_capacity) {}
+
+void ContactHistory::record_contact(NodeIdx peer, double t) {
+  PairHistory& ph = pairs_[peer];
+  if (ph.met) {
+    const double interval = t - ph.last_contact;
+    if (interval > 0.0) {
+      ph.intervals.push_back(interval);
+      if (ph.intervals.size() > capacity_) ph.intervals.pop_front();
+      ph.last_contact = t;
+      ph.cache_dirty_ = true;
+    }
+    // interval <= 0 (re-detection in the same instant): keep existing t0.
+  } else {
+    ph.met = true;
+    ph.last_contact = t;
+  }
+}
+
+const PairHistory* ContactHistory::pair(NodeIdx peer) const {
+  const auto it = pairs_.find(peer);
+  return it == pairs_.end() ? nullptr : &it->second;
+}
+
+double ContactHistory::elapsed_since_contact(NodeIdx peer, double t) const {
+  const PairHistory* ph = pair(peer);
+  if (ph == nullptr || !ph->met) return std::numeric_limits<double>::infinity();
+  return t - ph->last_contact;
+}
+
+std::vector<NodeIdx> ContactHistory::known_peers() const {
+  std::vector<NodeIdx> peers;
+  peers.reserve(pairs_.size());
+  for (const auto& [peer, ph] : pairs_) peers.push_back(peer);
+  return peers;
+}
+
+}  // namespace dtn::core

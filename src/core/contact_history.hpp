@@ -1,0 +1,68 @@
+// Sliding-window contact history (paper Sec. III-A1): for each peer, a node
+// records the last `window_capacity` meeting intervals Δt^{ij}_k and the
+// time t^{ij}_0 of the last contact. All four theorems of the paper are
+// functions of this state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace dtn::core {
+
+using NodeIdx = std::int32_t;
+
+struct PairHistory {
+  std::deque<double> intervals;  ///< recorded meeting intervals, oldest first
+  double last_contact = 0.0;     ///< t^{ij}_0
+  bool met = false;              ///< at least one contact recorded
+
+  /// Average meeting interval I_ij = (1/r) Σ Δt_k; 0 when no intervals yet.
+  [[nodiscard]] double average_interval() const;
+  [[nodiscard]] std::size_t count() const noexcept { return intervals.size(); }
+
+  /// Ascending copy of the window, rebuilt lazily after updates. The
+  /// estimators binary-search it, making EEV/ENEC O(peers · log window)
+  /// per evaluation instead of O(peers · window).
+  [[nodiscard]] const std::vector<double>& sorted_intervals() const;
+
+ private:
+  friend class ContactHistory;
+  mutable std::vector<double> sorted_cache_;
+  mutable bool cache_dirty_ = true;
+};
+
+class ContactHistory {
+ public:
+  explicit ContactHistory(std::size_t window_capacity = 32);
+
+  /// Records a contact with `peer` at time t. If a previous contact exists
+  /// the interval t - t0 is appended (evicting the oldest past capacity).
+  /// Contacts arriving out of order or coincident (interval <= 0) only
+  /// refresh t0.
+  void record_contact(NodeIdx peer, double t);
+
+  /// nullptr when the pair has never met.
+  [[nodiscard]] const PairHistory* pair(NodeIdx peer) const;
+
+  /// Elapsed time since last contact with `peer` at time t; +inf if never.
+  [[nodiscard]] double elapsed_since_contact(NodeIdx peer, double t) const;
+
+  /// Peers with at least one recorded contact, unsorted.
+  [[nodiscard]] std::vector<NodeIdx> known_peers() const;
+
+  [[nodiscard]] std::size_t window_capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t pair_count() const noexcept { return pairs_.size(); }
+
+  /// Iteration support for estimators (read-only).
+  [[nodiscard]] const std::unordered_map<NodeIdx, PairHistory>& pairs() const {
+    return pairs_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<NodeIdx, PairHistory> pairs_;
+};
+
+}  // namespace dtn::core

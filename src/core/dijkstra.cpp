@@ -1,0 +1,60 @@
+#include "core/dijkstra.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dtn::core {
+
+DijkstraResult dijkstra_dense(std::span<const double> delay, NodeIdx n, NodeIdx src) {
+  assert(delay.size() == static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  assert(src >= 0 && src < n);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  DijkstraResult result;
+  result.dist.assign(static_cast<std::size_t>(n), kInf);
+  result.parent.assign(static_cast<std::size_t>(n), -1);
+  std::vector<bool> done(static_cast<std::size_t>(n), false);
+  result.dist[static_cast<std::size_t>(src)] = 0.0;
+
+  for (NodeIdx iter = 0; iter < n; ++iter) {
+    // Select the unfinished vertex with the smallest tentative distance.
+    NodeIdx u = -1;
+    double best = kInf;
+    for (NodeIdx v = 0; v < n; ++v) {
+      if (!done[static_cast<std::size_t>(v)] &&
+          result.dist[static_cast<std::size_t>(v)] < best) {
+        best = result.dist[static_cast<std::size_t>(v)];
+        u = v;
+      }
+    }
+    if (u < 0) break;  // remaining vertices unreachable
+    done[static_cast<std::size_t>(u)] = true;
+    const std::size_t row = static_cast<std::size_t>(u) * static_cast<std::size_t>(n);
+    for (NodeIdx v = 0; v < n; ++v) {
+      if (done[static_cast<std::size_t>(v)] || v == u) continue;
+      double w = delay[row + static_cast<std::size_t>(v)];
+      if (w == kInf) continue;
+      if (w < 0.0) w = 0.0;
+      const double nd = best + w;
+      if (nd < result.dist[static_cast<std::size_t>(v)]) {
+        result.dist[static_cast<std::size_t>(v)] = nd;
+        result.parent[static_cast<std::size_t>(v)] = u;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<NodeIdx> extract_path(const DijkstraResult& result, NodeIdx src,
+                                  NodeIdx dst) {
+  if (!result.reachable(dst)) return {};
+  std::vector<NodeIdx> path;
+  for (NodeIdx cur = dst; cur != -1; cur = result.parent[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+    if (cur == src) break;
+  }
+  if (path.back() != src) return {};
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace dtn::core

@@ -1,0 +1,35 @@
+// Dense single-source Dijkstra over an n×n non-negative delay matrix.
+// O(n²), no heap: for the full dense matrices MD produces, the simple
+// quadratic form beats a binary-heap version and allocates nothing beyond
+// the two result vectors. Theorem 3 of the paper: running this over the MD
+// matrix yields the minimum expected meeting delay (MEMD).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace dtn::core {
+
+using NodeIdx = std::int32_t;
+
+struct DijkstraResult {
+  std::vector<double> dist;     ///< dist[v] = shortest delay src -> v
+  std::vector<NodeIdx> parent;  ///< parent[v] on the shortest path tree, -1 at src/unreached
+
+  [[nodiscard]] bool reachable(NodeIdx v) const {
+    return dist.at(static_cast<std::size_t>(v)) !=
+           std::numeric_limits<double>::infinity();
+  }
+};
+
+/// `delay` is row-major n×n; delay[i*n+j] = edge weight i->j (+inf = no
+/// edge). Negative weights are clamped to 0 (expected delays are
+/// non-negative by construction; the clamp guards rounding).
+DijkstraResult dijkstra_dense(std::span<const double> delay, NodeIdx n, NodeIdx src);
+
+/// Reconstructs the path src -> dst (inclusive); empty if unreachable.
+std::vector<NodeIdx> extract_path(const DijkstraResult& result, NodeIdx src, NodeIdx dst);
+
+}  // namespace dtn::core

@@ -1,0 +1,68 @@
+// Meeting-interval matrix MI (paper Sec. III-B2): an n×n matrix of average
+// meeting intervals I_ij, where row i is owned and updated by node u_i.
+// Each row carries a last-update timestamp; when two nodes meet they
+// exchange only the rows the other side has staler (paper footnote 1),
+// which is also what the control-overhead accounting charges.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dtn::core {
+
+using NodeIdx = std::int32_t;
+
+class MiMatrix {
+ public:
+  static constexpr double kUnknown = std::numeric_limits<double>::infinity();
+
+  explicit MiMatrix(NodeIdx n);
+
+  [[nodiscard]] NodeIdx size() const noexcept { return n_; }
+
+  /// I_ij; 0 on the diagonal, kUnknown when no information yet.
+  [[nodiscard]] double get(NodeIdx i, NodeIdx j) const;
+
+  /// Updates one entry of row `i` (the owner's row) and stamps the row with
+  /// time t. Only the row owner calls this with i == its own id.
+  void set_entry(NodeIdx i, NodeIdx j, double avg_interval, double t);
+
+  [[nodiscard]] double row_time(NodeIdx i) const {
+    return row_times_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Copies every row the `other` matrix has fresher. Returns the number of
+  /// rows copied (the unit the routers convert into control bytes).
+  int merge_from(const MiMatrix& other);
+
+  /// Bytes one row occupies on the air: n doubles + a timestamp.
+  [[nodiscard]] std::int64_t row_bytes() const noexcept {
+    return static_cast<std::int64_t>(n_) * 8 + 8;
+  }
+
+  /// Monotone counter bumped on every mutation; lets callers cache values
+  /// derived from the matrix (e.g. MEMD vectors) and detect staleness.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Per-row mutation counter (bumped when the row's content changes);
+  /// MemdCache uses it to resync only the rows that actually moved.
+  [[nodiscard]] std::uint64_t row_version(NodeIdx i) const {
+    return row_versions_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Raw row access for bulk consumers (row-major, n entries starting at
+  /// row i). The span stays valid until the matrix is destroyed.
+  [[nodiscard]] const double* row_data(NodeIdx i) const {
+    return data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
+  }
+
+ private:
+  NodeIdx n_;
+  std::vector<double> data_;       // row-major n×n
+  std::vector<double> row_times_;  // -inf = never updated
+  std::vector<std::uint64_t> row_versions_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace dtn::core

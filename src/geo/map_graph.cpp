@@ -1,0 +1,117 @@
+#include "geo/map_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace dtn::geo {
+
+NodeId MapGraph::add_node(Vec2 pos) {
+  positions_.push_back(pos);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+void MapGraph::add_edge(NodeId a, NodeId b) {
+  if (a == b) return;
+  auto& na = adjacency_.at(static_cast<std::size_t>(a));
+  if (std::find(na.begin(), na.end(), b) != na.end()) return;
+  na.push_back(b);
+  adjacency_.at(static_cast<std::size_t>(b)).push_back(a);
+  ++edge_count_;
+}
+
+NodeId MapGraph::nearest_node(Vec2 p) const {
+  NodeId best = kInvalid;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const double d2 = p.distance2_to(positions_[i]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> MapGraph::shortest_path(NodeId from, NodeId to) const {
+  const std::size_t n = positions_.size();
+  if (from < 0 || to < 0 || static_cast<std::size_t>(from) >= n ||
+      static_cast<std::size_t>(to) >= n) {
+    return {};
+  }
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<NodeId> prev(n, kInvalid);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(from)] = 0.0;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == to) break;
+    for (const NodeId v : adjacency_[static_cast<std::size_t>(u)]) {
+      const double w = positions_[static_cast<std::size_t>(u)].distance_to(
+          positions_[static_cast<std::size_t>(v)]);
+      const double nd = d + w;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        prev[static_cast<std::size_t>(v)] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(to)] == std::numeric_limits<double>::infinity()) {
+    return {};
+  }
+  std::vector<NodeId> path;
+  for (NodeId cur = to; cur != kInvalid; cur = prev[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Polyline MapGraph::walk_to_polyline(const std::vector<NodeId>& walk, bool closed) const {
+  std::vector<Vec2> pts;
+  pts.reserve(walk.size());
+  for (const NodeId id : walk) pts.push_back(position(id));
+  return Polyline(std::move(pts), closed);
+}
+
+bool MapGraph::connected() const {
+  const std::size_t n = positions_.size();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const NodeId v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+std::pair<Vec2, Vec2> MapGraph::bounds() const {
+  if (positions_.empty()) return {Vec2{}, Vec2{}};
+  Vec2 lo = positions_.front();
+  Vec2 hi = positions_.front();
+  for (const Vec2 p : positions_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  return {lo, hi};
+}
+
+}  // namespace dtn::geo

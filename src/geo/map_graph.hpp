@@ -1,0 +1,59 @@
+// Road network as an undirected graph of intersections. Bus routes are
+// generated as closed walks over this graph; movement models then follow
+// the resulting polylines. This substitutes for the ONE simulator's WKT
+// Helsinki map (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/polyline.hpp"
+#include "geo/vec2.hpp"
+
+namespace dtn::geo {
+
+using NodeId = std::int32_t;
+
+class MapGraph {
+ public:
+  static constexpr NodeId kInvalid = -1;
+
+  /// Adds an intersection; returns its id (dense, starting at 0).
+  NodeId add_node(Vec2 pos);
+
+  /// Adds an undirected road segment between two intersections. Duplicate
+  /// edges are ignored. Length is the Euclidean distance.
+  void add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return positions_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+  [[nodiscard]] Vec2 position(NodeId id) const { return positions_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId id) const {
+    return adjacency_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Intersection nearest to an arbitrary point (linear scan; maps are
+  /// built once per scenario so this is not hot).
+  [[nodiscard]] NodeId nearest_node(Vec2 p) const;
+
+  /// Shortest path (Dijkstra over edge lengths). Returns the sequence of
+  /// node ids from `from` to `to` inclusive; empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId from, NodeId to) const;
+
+  /// Converts a node-id walk into a polyline of intersection positions.
+  [[nodiscard]] Polyline walk_to_polyline(const std::vector<NodeId>& walk,
+                                          bool closed) const;
+
+  /// True when every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+  /// Axis-aligned bounding box of all intersections ({min, max}).
+  [[nodiscard]] std::pair<Vec2, Vec2> bounds() const;
+
+ private:
+  std::vector<Vec2> positions_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace dtn::geo

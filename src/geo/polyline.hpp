@@ -1,0 +1,46 @@
+// Polyline with arc-length parameterization. Bus routes are closed
+// polylines; movement models advance a distance-along-route cursor and ask
+// the polyline for the corresponding position.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/vec2.hpp"
+
+namespace dtn::geo {
+
+class Polyline {
+ public:
+  Polyline() = default;
+  /// `closed` appends an implicit segment from the last point back to the
+  /// first, making point_at(s) periodic in total_length().
+  explicit Polyline(std::vector<Vec2> points, bool closed = false);
+
+  [[nodiscard]] const std::vector<Vec2>& points() const noexcept { return points_; }
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  /// Total arc length including the closing segment when closed.
+  [[nodiscard]] double total_length() const noexcept { return total_length_; }
+
+  /// Position at arc length s from the start. Open polylines clamp to the
+  /// endpoints; closed polylines wrap modulo total_length().
+  [[nodiscard]] Vec2 point_at(double s) const noexcept;
+
+  /// Cumulative arc length at the i-th vertex.
+  [[nodiscard]] double length_at_vertex(std::size_t i) const;
+
+  /// Arc length of the point on the polyline closest to p (open segment
+  /// projection; used to place nodes on their nearest route point).
+  [[nodiscard]] double project(Vec2 p) const noexcept;
+
+ private:
+  std::vector<Vec2> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = length up to vertex i
+  double total_length_ = 0.0;
+  bool closed_ = false;
+};
+
+}  // namespace dtn::geo

@@ -1,0 +1,96 @@
+#include "geo/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtn::geo {
+
+namespace {
+
+std::int64_t cell_coord(double v, double cell) noexcept {
+  return static_cast<std::int64_t>(std::floor(v / cell));
+}
+
+}  // namespace
+
+SpatialGrid::SpatialGrid(double cell_size) : cell_(cell_size > 0.0 ? cell_size : 1.0) {}
+
+SpatialGrid::CellKey SpatialGrid::make_key(std::int64_t cx, std::int64_t cy) noexcept {
+  // Interleave the two 32-bit (wrapped) cell coordinates into one key.
+  const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx));
+  const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  return (ux << 32) | uy;
+}
+
+SpatialGrid::CellKey SpatialGrid::key_for(Vec2 pos) const noexcept {
+  return make_key(cell_coord(pos.x, cell_), cell_coord(pos.y, cell_));
+}
+
+void SpatialGrid::clear() {
+  // Keep bucket memory: the grid is rebuilt every step with a similar
+  // occupancy pattern, so reusing vectors avoids per-step allocation churn.
+  for (auto& [key, entries] : cells_) entries.clear();
+  count_ = 0;
+}
+
+void SpatialGrid::insert(std::int32_t id, Vec2 pos) {
+  cells_[key_for(pos)].push_back(Entry{id, pos});
+  ++count_;
+}
+
+std::vector<std::int32_t> SpatialGrid::query(Vec2 pos, double radius,
+                                             std::int32_t exclude_id) const {
+  std::vector<std::int32_t> result;
+  const double r2 = radius * radius;
+  const std::int64_t cx = cell_coord(pos.x, cell_);
+  const std::int64_t cy = cell_coord(pos.y, cell_);
+  const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell_));
+  for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+    for (std::int64_t dy = -reach; dy <= reach; ++dy) {
+      const auto it = cells_.find(make_key(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (const Entry& e : it->second) {
+        if (e.id == exclude_id) continue;
+        if (pos.distance2_to(e.pos) <= r2) result.push_back(e.id);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<std::int32_t, std::int32_t>> SpatialGrid::all_pairs(
+    double radius) const {
+  std::vector<std::pair<std::int32_t, std::int32_t>> pairs;
+  const double r2 = radius * radius;
+  // Forward-neighbor offsets: (0,0) self plus E, NE, N, NW. Every unordered
+  // cell pair is then enumerated exactly once.
+  static constexpr std::pair<std::int64_t, std::int64_t> kOffsets[] = {
+      {0, 0}, {1, 0}, {1, 1}, {0, 1}, {-1, 1}};
+  for (const auto& [key, entries] : cells_) {
+    if (entries.empty()) continue;
+    const auto cx = static_cast<std::int64_t>(static_cast<std::int32_t>(key >> 32));
+    const auto cy = static_cast<std::int64_t>(static_cast<std::int32_t>(key & 0xffffffffu));
+    for (const auto& [dx, dy] : kOffsets) {
+      const bool self = dx == 0 && dy == 0;
+      const std::vector<Entry>* other = &entries;
+      if (!self) {
+        const auto it = cells_.find(make_key(cx + dx, cy + dy));
+        if (it == cells_.end() || it->second.empty()) continue;
+        other = &it->second;
+      }
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const std::size_t j_begin = self ? i + 1 : 0;
+        for (std::size_t j = j_begin; j < other->size(); ++j) {
+          const Entry& a = entries[i];
+          const Entry& b = (*other)[j];
+          if (a.pos.distance2_to(b.pos) <= r2) {
+            pairs.emplace_back(std::min(a.id, b.id), std::max(a.id, b.id));
+          }
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace dtn::geo

@@ -1,0 +1,53 @@
+// Uniform hash grid for O(1) neighbor queries. The contact detector
+// rebuilds the grid each simulation step (cheap: one insert per node) and
+// asks for candidate pairs within the radio range; with cell size equal to
+// the range only the 3x3 cell neighborhood must be scanned.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/vec2.hpp"
+
+namespace dtn::geo {
+
+class SpatialGrid {
+ public:
+  explicit SpatialGrid(double cell_size);
+
+  void clear();
+  void insert(std::int32_t id, Vec2 pos);
+
+  /// Ids of all inserted points within `radius` of `pos` (exact distance
+  /// filter applied on top of the candidate cells). Excludes `exclude_id`.
+  [[nodiscard]] std::vector<std::int32_t> query(Vec2 pos, double radius,
+                                                std::int32_t exclude_id = -1) const;
+
+  /// All unordered pairs (a < b) within `radius` of each other. This is the
+  /// contact-detection workhorse: each cell is compared against itself and
+  /// the 4 forward neighbor cells so every pair is visited exactly once.
+  /// Precondition: radius <= cell_size() (the detector constructs the grid
+  /// with cell == radio range, so this always holds in the simulator).
+  [[nodiscard]] std::vector<std::pair<std::int32_t, std::int32_t>> all_pairs(
+      double radius) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_; }
+
+ private:
+  struct Entry {
+    std::int32_t id;
+    Vec2 pos;
+  };
+
+  using CellKey = std::uint64_t;
+  [[nodiscard]] CellKey key_for(Vec2 pos) const noexcept;
+  static CellKey make_key(std::int64_t cx, std::int64_t cy) noexcept;
+
+  double cell_;
+  std::size_t count_ = 0;
+  std::unordered_map<CellKey, std::vector<Entry>> cells_;
+};
+
+}  // namespace dtn::geo

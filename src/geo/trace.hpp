@@ -1,0 +1,42 @@
+// Mobility trace I/O. Traces are the bridge to real-world datasets
+// (CRAWDAD-style): each record is `time node_id x y` in a plain text file.
+// The TracePlayback movement model replays them; write_trace lets any
+// scenario dump its trajectories for offline analysis or reuse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/vec2.hpp"
+
+namespace dtn::geo {
+
+struct TraceSample {
+  double time = 0.0;
+  std::int32_t node = 0;
+  Vec2 pos;
+};
+
+struct Trace {
+  std::vector<TraceSample> samples;  ///< sorted by (time, node)
+
+  /// Number of distinct node ids (max id + 1).
+  [[nodiscard]] std::int32_t node_count() const;
+  [[nodiscard]] double duration() const;
+  void sort();
+};
+
+/// Parses a whitespace-separated `time node x y` file. Lines starting with
+/// '#' are comments. Throws std::runtime_error on malformed input.
+Trace read_trace(const std::string& path);
+
+/// Writes samples in the same format (sorted first). Returns false on I/O
+/// failure.
+bool write_trace(const std::string& path, const Trace& trace);
+
+/// Parses trace content from a string (same grammar as read_trace); used by
+/// unit tests and in-memory pipelines.
+Trace parse_trace(const std::string& content);
+
+}  // namespace dtn::geo

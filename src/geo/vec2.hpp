@@ -1,0 +1,41 @@
+// 2-D vector type used for node positions (meters, world coordinates).
+#pragma once
+
+#include <cmath>
+
+namespace dtn::geo {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  [[nodiscard]] constexpr double norm2() const noexcept { return x * x + y * y; }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(norm2()); }
+
+  [[nodiscard]] double distance_to(Vec2 o) const noexcept { return (*this - o).norm(); }
+  [[nodiscard]] constexpr double distance2_to(Vec2 o) const noexcept {
+    return (*this - o).norm2();
+  }
+
+  /// Unit vector (zero vector maps to zero).
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+/// Linear interpolation a + t*(b-a); t is not clamped.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept { return a + (b - a) * t; }
+
+}  // namespace dtn::geo

@@ -1,0 +1,168 @@
+#include "harness/scenario.hpp"
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+namespace dtn::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Routing-free router that only feeds the shared contact-count graph —
+/// used by the community-detection warm-up pass.
+class ContactLoggerRouter final : public sim::Router {
+ public:
+  explicit ContactLoggerRouter(core::ContactCountGraph* graph) : graph_(graph) {}
+  [[nodiscard]] std::string name() const override { return "ContactLogger"; }
+  void on_contact_up(sim::NodeIdx peer) override {
+    if (self() < peer) graph_->record(self(), peer);
+  }
+
+ private:
+  core::ContactCountGraph* graph_;
+};
+
+}  // namespace
+
+core::CommunityTable bus_scenario_communities(const geo::BusNetwork& net,
+                                              int node_count) {
+  std::vector<int> cid(static_cast<std::size_t>(node_count), 0);
+  for (int v = 0; v < node_count; ++v) {
+    const auto& route = net.routes[static_cast<std::size_t>(v) % net.routes.size()];
+    cid[static_cast<std::size_t>(v)] = route.district;
+  }
+  return core::CommunityTable(std::move(cid));
+}
+
+ScenarioResult run_bus_scenario(const BusScenarioParams& params) {
+  const auto start = Clock::now();
+
+  geo::DowntownParams map_params = params.map;
+  map_params.seed = params.seed;  // map varies with the scenario seed
+  const geo::BusNetwork net = geo::generate_downtown(map_params);
+
+  // Routes as shared polylines.
+  std::vector<std::shared_ptr<const geo::Polyline>> routes;
+  routes.reserve(net.routes.size());
+  for (const auto& r : net.routes) {
+    routes.push_back(std::make_shared<const geo::Polyline>(r.line));
+  }
+
+  std::shared_ptr<const core::CommunityTable> communities =
+      params.communities_override;
+  if (!communities) {
+    communities = std::make_shared<const core::CommunityTable>(
+        bus_scenario_communities(net, params.node_count));
+  }
+
+  sim::WorldConfig world_config = params.world;
+  world_config.seed = params.seed;
+  sim::World world(world_config);
+
+  routing::ProtocolConfig protocol = params.protocol;
+  protocol.communities = communities;
+
+  for (int v = 0; v < params.node_count; ++v) {
+    const std::size_t route_idx = static_cast<std::size_t>(v) % routes.size();
+    auto movement =
+        std::make_unique<mobility::BusMovement>(routes[route_idx], params.bus);
+    world.add_node(std::move(movement), routing::create_router(protocol));
+  }
+
+  sim::TrafficParams traffic = params.traffic;
+  if (params.full_ttl_window) {
+    traffic.stop = params.duration_s - traffic.ttl;
+  }
+  world.set_traffic(traffic);
+  world.run(params.duration_s);
+
+  ScenarioResult result;
+  result.metrics = world.metrics();
+  result.contact_events = world.contact_events();
+  result.wall_seconds = elapsed_seconds(start);
+  result.protocol = params.protocol.name;
+  result.node_count = params.node_count;
+  result.seed = params.seed;
+  return result;
+}
+
+core::CommunityTable detect_bus_communities(const BusScenarioParams& params,
+                                            const core::DetectionParams& detection,
+                                            double warmup_s) {
+  geo::DowntownParams map_params = params.map;
+  map_params.seed = params.seed;
+  const geo::BusNetwork net = geo::generate_downtown(map_params);
+  std::vector<std::shared_ptr<const geo::Polyline>> routes;
+  routes.reserve(net.routes.size());
+  for (const auto& r : net.routes) {
+    routes.push_back(std::make_shared<const geo::Polyline>(r.line));
+  }
+  core::ContactCountGraph graph(static_cast<core::NodeIdx>(params.node_count));
+  sim::WorldConfig world_config = params.world;
+  world_config.seed = params.seed;
+  sim::World world(world_config);
+  for (int v = 0; v < params.node_count; ++v) {
+    const std::size_t route_idx = static_cast<std::size_t>(v) % routes.size();
+    world.add_node(std::make_unique<mobility::BusMovement>(routes[route_idx], params.bus),
+                   std::make_unique<ContactLoggerRouter>(&graph));
+  }
+  world.run(warmup_s);
+  return core::detect_communities(graph, detection);
+}
+
+ScenarioResult run_community_scenario(const CommunityScenarioParams& params) {
+  const auto start = Clock::now();
+
+  // Districts tiled left-to-right; community c owns one vertical band.
+  const int l = params.communities > 0 ? params.communities : 1;
+  const double band = params.world_size_m / static_cast<double>(l);
+
+  std::vector<int> cid(static_cast<std::size_t>(params.node_count));
+  for (int v = 0; v < params.node_count; ++v) {
+    cid[static_cast<std::size_t>(v)] = v % l;
+  }
+  auto communities = std::make_shared<const core::CommunityTable>(cid);
+
+  sim::WorldConfig world_config = params.world;
+  world_config.seed = params.seed;
+  sim::World world(world_config);
+
+  routing::ProtocolConfig protocol = params.protocol;
+  protocol.communities = communities;
+
+  for (int v = 0; v < params.node_count; ++v) {
+    const int c = cid[static_cast<std::size_t>(v)];
+    mobility::CommunityMovementParams mp;
+    mp.world_min = {0.0, 0.0};
+    mp.world_max = {params.world_size_m, params.world_size_m};
+    mp.home_min = {band * c, 0.0};
+    mp.home_max = {band * (c + 1), params.world_size_m};
+    mp.home_prob = params.home_prob;
+    world.add_node(std::make_unique<mobility::CommunityMovement>(mp),
+                   routing::create_router(protocol));
+  }
+
+  sim::TrafficParams traffic = params.traffic;
+  if (params.full_ttl_window) {
+    traffic.stop = params.duration_s - traffic.ttl;
+  }
+  world.set_traffic(traffic);
+  world.run(params.duration_s);
+
+  ScenarioResult result;
+  result.metrics = world.metrics();
+  result.contact_events = world.contact_events();
+  result.wall_seconds = elapsed_seconds(start);
+  result.protocol = params.protocol.name;
+  result.node_count = params.node_count;
+  result.seed = params.seed;
+  return result;
+}
+
+}  // namespace dtn::harness

@@ -1,0 +1,85 @@
+// Scenario builders: turn a declarative parameter block into a ready World.
+// The bus scenario is the paper's evaluation setup (Sec. V-A): a synthetic
+// downtown map with bus routes, nodes = buses, communities = districts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/community_detection.hpp"
+#include "geo/map_gen.hpp"
+#include "mobility/bus_movement.hpp"
+#include "mobility/community_movement.hpp"
+#include "routing/factory.hpp"
+#include "sim/metrics.hpp"
+#include "sim/world.hpp"
+
+namespace dtn::harness {
+
+/// Paper defaults (Sec. V-A). Every field is overridable by benches/tests.
+struct BusScenarioParams {
+  int node_count = 120;
+  double duration_s = 10000.0;
+  std::uint64_t seed = 1;
+
+  geo::DowntownParams map;        ///< map/route generator (districts = communities)
+  mobility::BusParams bus;        ///< speeds 2.7-13.9 m/s by default
+  sim::WorldConfig world;         ///< dt 0.1 s, range 10 m, 2 Mbps, 1 MB
+  sim::TrafficParams traffic;     ///< 25 KB packets, TTL 1200 s
+  routing::ProtocolConfig protocol;
+
+  /// When true (default) traffic generation stops at duration - TTL so
+  /// every generated message has a full TTL window inside the run.
+  bool full_ttl_window = true;
+
+  /// When set, CR uses this community table instead of the route-district
+  /// ground truth (used by the detected-communities ablation).
+  std::shared_ptr<const core::CommunityTable> communities_override;
+};
+
+struct ScenarioResult {
+  sim::Metrics metrics;
+  std::int64_t contact_events = 0;
+  double wall_seconds = 0.0;
+  std::string protocol;
+  int node_count = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Runs one bus-map simulation to completion and reports its metrics.
+ScenarioResult run_bus_scenario(const BusScenarioParams& params);
+
+/// Community random-waypoint scenario (no map): `communities` districts
+/// tiled across the world, one CommunityMovement per node. Exercises CR on
+/// mobility that is community-structured but not route-structured.
+struct CommunityScenarioParams {
+  int node_count = 80;
+  int communities = 4;
+  double world_size_m = 2400.0;
+  double home_prob = 0.85;
+  double duration_s = 8000.0;
+  std::uint64_t seed = 1;
+  sim::WorldConfig world;
+  sim::TrafficParams traffic;
+  routing::ProtocolConfig protocol;
+  bool full_ttl_window = true;
+};
+
+ScenarioResult run_community_scenario(const CommunityScenarioParams& params);
+
+/// Builds the community table for a bus scenario (round-robin route
+/// assignment; community = route district), exposed so callers can
+/// construct CR configs that match the node assignment.
+core::CommunityTable bus_scenario_communities(const geo::BusNetwork& net,
+                                              int node_count);
+
+/// Runs a routing-free warm-up pass of the bus scenario (same map, same
+/// movement, same seed) for `warmup_s` seconds, collects pairwise contact
+/// counts, and detects communities from them (core::detect_communities).
+/// This is the distributed-construction path from the paper's future work,
+/// evaluated offline; see bench/ablation_communities.
+core::CommunityTable detect_bus_communities(const BusScenarioParams& params,
+                                            const core::DetectionParams& detection,
+                                            double warmup_s);
+
+}  // namespace dtn::harness

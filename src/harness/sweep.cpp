@@ -1,0 +1,117 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace dtn::harness {
+
+std::vector<PointResult> run_sweep(const SweepOptions& options) {
+  struct Task {
+    std::size_t point;
+    std::string protocol;
+    int nodes;
+    std::uint64_t seed;
+  };
+  std::vector<PointResult> results;
+  std::vector<Task> tasks;
+  for (const auto& protocol : options.protocols) {
+    for (const int nodes : options.node_counts) {
+      PointResult point;
+      point.protocol = protocol;
+      point.node_count = nodes;
+      point.copies = options.base.protocol.copies;
+      point.alpha = options.base.protocol.alpha;
+      const std::size_t idx = results.size();
+      results.push_back(std::move(point));
+      for (int s = 0; s < options.seeds; ++s) {
+        tasks.push_back(Task{idx, protocol, nodes,
+                             options.seed_base + static_cast<std::uint64_t>(s)});
+      }
+    }
+  }
+
+  std::mutex merge_mutex;
+  util::ThreadPool::parallel_for(
+      tasks.size(), options.threads, [&](std::size_t i) {
+        const Task& task = tasks[i];
+        BusScenarioParams params = options.base;
+        params.protocol.name = task.protocol;
+        params.node_count = task.nodes;
+        params.seed = task.seed;
+        const ScenarioResult run = run_bus_scenario(params);
+
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        PointResult& point = results[task.point];
+        point.delivery_ratio.add(run.metrics.delivery_ratio());
+        point.latency.add(run.metrics.latency_mean());
+        point.goodput.add(run.metrics.goodput());
+        point.control_mb.add(static_cast<double>(run.metrics.control_bytes()) / 1e6);
+        point.relayed.add(static_cast<double>(run.metrics.relayed()));
+        point.contacts.add(static_cast<double>(run.contact_events));
+        if (options.progress) {
+          options.progress(task.protocol + "/n=" + std::to_string(task.nodes) +
+                           "/seed=" + std::to_string(task.seed));
+        }
+      });
+  return results;
+}
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kDeliveryRatio: return "delivery_ratio";
+    case Metric::kLatency: return "latency_s";
+    case Metric::kGoodput: return "goodput";
+    case Metric::kControlMb: return "control_MB";
+    case Metric::kRelayed: return "relayed";
+  }
+  return "?";
+}
+
+double metric_value(const PointResult& point, Metric metric) {
+  switch (metric) {
+    case Metric::kDeliveryRatio: return point.delivery_ratio.mean();
+    case Metric::kLatency: return point.latency.mean();
+    case Metric::kGoodput: return point.goodput.mean();
+    case Metric::kControlMb: return point.control_mb.mean();
+    case Metric::kRelayed: return point.relayed.mean();
+  }
+  return 0.0;
+}
+
+util::TablePrinter metric_table(const std::vector<PointResult>& results,
+                                Metric metric, int precision) {
+  // Column per protocol, row per node count, both in first-seen order.
+  std::vector<std::string> protocols;
+  std::vector<int> node_counts;
+  for (const auto& p : results) {
+    if (std::find(protocols.begin(), protocols.end(), p.protocol) == protocols.end()) {
+      protocols.push_back(p.protocol);
+    }
+    if (std::find(node_counts.begin(), node_counts.end(), p.node_count) ==
+        node_counts.end()) {
+      node_counts.push_back(p.node_count);
+    }
+  }
+  std::vector<std::string> headers{"nodes"};
+  for (const auto& proto : protocols) headers.push_back(proto);
+  util::TablePrinter table(std::move(headers));
+  for (const int n : node_counts) {
+    table.new_row().add_cell(static_cast<long long>(n));
+    for (const auto& proto : protocols) {
+      const auto it = std::find_if(results.begin(), results.end(),
+                                   [&](const PointResult& p) {
+                                     return p.protocol == proto && p.node_count == n;
+                                   });
+      if (it == results.end()) {
+        table.add_cell(std::string("-"));
+      } else {
+        table.add_cell(metric_value(*it, metric), precision);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace dtn::harness

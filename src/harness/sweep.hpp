@@ -1,0 +1,59 @@
+// Sweep runner: executes a (protocol × node-count × seed) grid of bus
+// scenarios, aggregates per-point means across seeds, and prints
+// figure-style tables. Seeds fan out across a thread pool (Worlds share no
+// state).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dtn::harness {
+
+/// Aggregated metrics for one sweep point across seeds.
+struct PointResult {
+  std::string protocol;
+  int node_count = 0;
+  int copies = 0;
+  double alpha = 0.0;
+  util::StatAccumulator delivery_ratio;
+  util::StatAccumulator latency;
+  util::StatAccumulator goodput;
+  util::StatAccumulator control_mb;
+  util::StatAccumulator relayed;
+  util::StatAccumulator contacts;
+};
+
+struct SweepOptions {
+  std::vector<std::string> protocols;
+  std::vector<int> node_counts;
+  int seeds = 2;
+  std::uint64_t seed_base = 1000;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Applied to every point before protocol/node count are overlaid.
+  BusScenarioParams base;
+  /// Optional progress callback (point label) invoked as points finish.
+  std::function<void(const std::string&)> progress;
+};
+
+/// Runs the grid; results ordered by (protocol, node_count) as given.
+std::vector<PointResult> run_sweep(const SweepOptions& options);
+
+/// Renders one metric across the grid as a table: rows = node counts,
+/// columns = protocols. `metric` selects the accumulator.
+enum class Metric { kDeliveryRatio, kLatency, kGoodput, kControlMb, kRelayed };
+
+util::TablePrinter metric_table(const std::vector<PointResult>& results,
+                                Metric metric, int precision = 4);
+
+/// Column label used in output for a metric.
+std::string metric_name(Metric metric);
+
+/// Reads a single aggregated value.
+double metric_value(const PointResult& point, Metric metric);
+
+}  // namespace dtn::harness

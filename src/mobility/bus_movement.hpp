@@ -1,0 +1,46 @@
+// Bus movement along a closed map route: the paper's vehicular map-driven
+// model. A bus advances a distance cursor along its route polyline at a
+// speed redrawn from [speed_min, speed_max] after each stop, pausing at
+// regularly spaced stops. Buses sharing (segments of) a route meet
+// quasi-periodically — the contact recurrence the EER/CR estimators learn.
+#pragma once
+
+#include <memory>
+
+#include "geo/polyline.hpp"
+#include "mobility/movement_model.hpp"
+
+namespace dtn::mobility {
+
+struct BusParams {
+  double speed_min = 2.7;     ///< m/s (paper Sec. V-A)
+  double speed_max = 13.9;    ///< m/s
+  double stop_spacing = 600;  ///< meters between stops along the route
+  double pause_min = 5.0;     ///< s dwell at a stop
+  double pause_max = 20.0;
+};
+
+class BusMovement final : public MovementModel {
+ public:
+  /// `route` is shared: many buses serve the same line.
+  BusMovement(std::shared_ptr<const geo::Polyline> route, BusParams params);
+
+  void init(util::Pcg32 rng, double start_time) override;
+  void step(double now, double dt) override;
+  [[nodiscard]] geo::Vec2 position() const override { return pos_; }
+
+  /// Distance cursor along the route (for tests / trace dumps).
+  [[nodiscard]] double cursor() const noexcept { return cursor_; }
+
+ private:
+  std::shared_ptr<const geo::Polyline> route_;
+  BusParams params_;
+  util::Pcg32 rng_;
+  geo::Vec2 pos_;
+  double cursor_ = 0.0;       ///< arc length along route, wraps at total_length
+  double next_stop_ = 0.0;    ///< cursor value of the next stop
+  double speed_ = 1.0;
+  double pause_until_ = 0.0;
+};
+
+}  // namespace dtn::mobility

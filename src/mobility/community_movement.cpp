@@ -1,0 +1,52 @@
+#include "mobility/community_movement.hpp"
+
+#include <algorithm>
+
+namespace dtn::mobility {
+
+CommunityMovement::CommunityMovement(CommunityMovementParams params)
+    : params_(params) {}
+
+void CommunityMovement::init(util::Pcg32 rng, double start_time) {
+  rng_ = rng;
+  pos_ = geo::Vec2{rng_.uniform(params_.home_min.x, params_.home_max.x),
+                   rng_.uniform(params_.home_min.y, params_.home_max.y)};
+  pause_until_ = start_time;
+  pick_waypoint();
+}
+
+void CommunityMovement::pick_waypoint() {
+  const bool home = rng_.bernoulli(params_.home_prob);
+  const geo::Vec2 lo = home ? params_.home_min : params_.world_min;
+  const geo::Vec2 hi = home ? params_.home_max : params_.world_max;
+  target_ = geo::Vec2{rng_.uniform(lo.x, hi.x), rng_.uniform(lo.y, hi.y)};
+  speed_ = rng_.uniform(params_.speed_min, params_.speed_max);
+}
+
+void CommunityMovement::step(double now, double dt) {
+  double remaining = dt;
+  double t = now;
+  while (remaining > 1e-12) {
+    if (t < pause_until_) {
+      const double wait = std::min(remaining, pause_until_ - t);
+      t += wait;
+      remaining -= wait;
+      continue;
+    }
+    const double dist = pos_.distance_to(target_);
+    if (speed_ <= 0.0) return;
+    const double travel_time = dist / speed_;
+    if (travel_time <= remaining) {
+      pos_ = target_;
+      t += travel_time;
+      remaining -= travel_time;
+      pause_until_ = t + rng_.uniform(params_.pause_min, params_.pause_max);
+      pick_waypoint();
+    } else {
+      pos_ += (target_ - pos_).normalized() * (speed_ * remaining);
+      remaining = 0.0;
+    }
+  }
+}
+
+}  // namespace dtn::mobility

@@ -1,0 +1,42 @@
+// Movement model interface. Each simulated node owns one model instance;
+// the simulation kernel calls step(now, dt) once per update interval and
+// reads position(). Models receive their own RNG stream at init so node
+// trajectories are independent and reproducible.
+#pragma once
+
+#include <memory>
+
+#include "geo/vec2.hpp"
+#include "util/rng.hpp"
+
+namespace dtn::mobility {
+
+class MovementModel {
+ public:
+  virtual ~MovementModel() = default;
+
+  /// Places the node at its initial position. `rng` is the node's private
+  /// movement stream (taken by value; the model owns it afterwards).
+  virtual void init(util::Pcg32 rng, double start_time) = 0;
+
+  /// Advances the trajectory from `now` to `now + dt`.
+  virtual void step(double now, double dt) = 0;
+
+  [[nodiscard]] virtual geo::Vec2 position() const = 0;
+};
+
+using MovementModelPtr = std::unique_ptr<MovementModel>;
+
+/// Fixed-position model (infrastructure nodes, unit tests).
+class Stationary final : public MovementModel {
+ public:
+  explicit Stationary(geo::Vec2 pos) : pos_(pos) {}
+  void init(util::Pcg32 /*rng*/, double /*start_time*/) override {}
+  void step(double /*now*/, double /*dt*/) override {}
+  [[nodiscard]] geo::Vec2 position() const override { return pos_; }
+
+ private:
+  geo::Vec2 pos_;
+};
+
+}  // namespace dtn::mobility

@@ -1,0 +1,51 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <algorithm>
+
+namespace dtn::mobility {
+
+RandomWaypoint::RandomWaypoint(RandomWaypointParams params) : params_(params) {}
+
+void RandomWaypoint::init(util::Pcg32 rng, double start_time) {
+  rng_ = rng;
+  pos_ = geo::Vec2{rng_.uniform(params_.world_min.x, params_.world_max.x),
+                   rng_.uniform(params_.world_min.y, params_.world_max.y)};
+  pause_until_ = start_time;
+  pick_waypoint();
+}
+
+void RandomWaypoint::pick_waypoint() {
+  target_ = geo::Vec2{rng_.uniform(params_.world_min.x, params_.world_max.x),
+                      rng_.uniform(params_.world_min.y, params_.world_max.y)};
+  speed_ = rng_.uniform(params_.speed_min, params_.speed_max);
+}
+
+void RandomWaypoint::step(double now, double dt) {
+  double remaining = dt;
+  double t = now;
+  // A single dt may span pause end + several waypoint arrivals; consume it
+  // piecewise so trajectories are independent of the step size.
+  while (remaining > 1e-12) {
+    if (t < pause_until_) {
+      const double wait = std::min(remaining, pause_until_ - t);
+      t += wait;
+      remaining -= wait;
+      continue;
+    }
+    const double dist_to_target = pos_.distance_to(target_);
+    if (speed_ <= 0.0) return;
+    const double travel_time = dist_to_target / speed_;
+    if (travel_time <= remaining) {
+      pos_ = target_;
+      t += travel_time;
+      remaining -= travel_time;
+      pause_until_ = t + rng_.uniform(params_.pause_min, params_.pause_max);
+      pick_waypoint();
+    } else {
+      pos_ += (target_ - pos_).normalized() * (speed_ * remaining);
+      remaining = 0.0;
+    }
+  }
+}
+
+}  // namespace dtn::mobility

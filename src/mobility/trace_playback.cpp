@@ -1,0 +1,61 @@
+#include "mobility/trace_playback.hpp"
+
+#include <algorithm>
+
+namespace dtn::mobility {
+
+TracePlayback::TracePlayback(std::vector<geo::TraceSample> samples)
+    : samples_(std::move(samples)) {
+  if (samples_.empty()) {
+    samples_.push_back(geo::TraceSample{0.0, 0, geo::Vec2{}});
+  }
+  pos_ = samples_.front().pos;
+}
+
+void TracePlayback::init(util::Pcg32 /*rng*/, double start_time) {
+  hint_ = 0;
+  pos_ = interpolate(start_time);
+}
+
+void TracePlayback::step(double now, double dt) { pos_ = interpolate(now + dt); }
+
+geo::Vec2 TracePlayback::interpolate(double t) const {
+  if (t <= samples_.front().time) return samples_.front().pos;
+  if (t >= samples_.back().time) return samples_.back().pos;
+  // Advance the hint; the kernel queries monotonically increasing times.
+  auto* self = const_cast<TracePlayback*>(this);
+  while (self->hint_ + 1 < samples_.size() && samples_[self->hint_ + 1].time < t) {
+    ++self->hint_;
+  }
+  // Binary fallback in case the hint was reset (init at a late start time).
+  std::size_t i = self->hint_;
+  if (!(samples_[i].time <= t && t <= samples_[i + 1].time)) {
+    const auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), t,
+        [](double v, const geo::TraceSample& s) { return v < s.time; });
+    i = static_cast<std::size_t>(std::max<std::ptrdiff_t>(1, it - samples_.begin())) - 1;
+    self->hint_ = i;
+  }
+  const auto& a = samples_[i];
+  const auto& b = samples_[i + 1];
+  const double span = b.time - a.time;
+  const double u = span > 0.0 ? (t - a.time) / span : 0.0;
+  return geo::lerp(a.pos, b.pos, u);
+}
+
+std::vector<MovementModelPtr> TracePlayback::from_trace(const geo::Trace& trace) {
+  const std::int32_t n = trace.node_count();
+  std::vector<std::vector<geo::TraceSample>> per_node(
+      static_cast<std::size_t>(std::max(n, 0)));
+  for (const auto& s : trace.samples) {
+    per_node[static_cast<std::size_t>(s.node)].push_back(s);
+  }
+  std::vector<MovementModelPtr> models;
+  models.reserve(per_node.size());
+  for (auto& samples : per_node) {
+    models.push_back(std::make_unique<TracePlayback>(std::move(samples)));
+  }
+  return models;
+}
+
+}  // namespace dtn::mobility

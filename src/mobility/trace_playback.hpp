@@ -1,0 +1,36 @@
+// Replays a recorded trajectory (from a mobility trace file) with linear
+// interpolation between samples. This is the code path a real CRAWDAD
+// dataset would use: convert the dataset to `time node x y` records and
+// attach one TracePlayback per node.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/trace.hpp"
+#include "mobility/movement_model.hpp"
+
+namespace dtn::mobility {
+
+class TracePlayback final : public MovementModel {
+ public:
+  /// `samples` are this node's records, sorted by time, non-empty.
+  explicit TracePlayback(std::vector<geo::TraceSample> samples);
+
+  void init(util::Pcg32 rng, double start_time) override;
+  void step(double now, double dt) override;
+  [[nodiscard]] geo::Vec2 position() const override { return pos_; }
+
+  /// Builds one playback model per node from a full trace. Nodes with no
+  /// samples get a model pinned at the origin.
+  static std::vector<MovementModelPtr> from_trace(const geo::Trace& trace);
+
+ private:
+  [[nodiscard]] geo::Vec2 interpolate(double t) const;
+
+  std::vector<geo::TraceSample> samples_;
+  std::size_t hint_ = 0;  ///< search start; times advance monotonically
+  geo::Vec2 pos_;
+};
+
+}  // namespace dtn::mobility

@@ -1,0 +1,63 @@
+#include "routing/delegation.hpp"
+
+#include <limits>
+
+#include "sim/world.hpp"
+
+namespace dtn::routing {
+
+namespace {
+constexpr double kNever = -std::numeric_limits<double>::infinity();
+}
+
+double DelegationRouter::quality(sim::NodeIdx d) const {
+  if (d < 0 || static_cast<std::size_t>(d) >= last_met_.size()) return kNever;
+  return last_met_[static_cast<std::size_t>(d)];
+}
+
+double& DelegationRouter::level_for(sim::MsgId id) {
+  const auto [it, inserted] = levels_.emplace(id, kNever);
+  return it->second;
+}
+
+void DelegationRouter::route_one(const sim::StoredMessage& sm, sim::NodeIdx peer) {
+  if (sm.msg.expired_at(now())) return;
+  if (sm.msg.dst == peer) {
+    send_copy(peer, sm.msg.id, 1, 0);
+    return;
+  }
+  if (peer_has(peer, sm.msg.id)) return;
+  auto* peer_router = dynamic_cast<DelegationRouter*>(&world().router_of(peer));
+  if (peer_router == nullptr) return;
+  charge_control_bytes(8);  // the peer reports its quality for this dest
+  const double peer_quality = peer_router->quality(sm.msg.dst);
+  double& level = level_for(sm.msg.id);
+  // Delegate only when the peer beats every quality this copy has seen.
+  if (peer_quality > level && peer_quality > quality(sm.msg.dst)) {
+    level = peer_quality;
+    // The receiving copy starts life at the new level too.
+    peer_router->level_for(sm.msg.id) = peer_quality;
+    send_copy(peer, sm.msg.id, 1, 0);
+  }
+}
+
+void DelegationRouter::on_contact_up(sim::NodeIdx peer) {
+  if (last_met_.size() < static_cast<std::size_t>(world().node_count())) {
+    last_met_.resize(static_cast<std::size_t>(world().node_count()), kNever);
+  }
+  last_met_[static_cast<std::size_t>(peer)] = now();
+  for (const auto& sm : buffer().messages()) route_one(sm, peer);
+}
+
+void DelegationRouter::on_message_created(const sim::Message& m) {
+  const sim::StoredMessage* sm = buffer().find(m.id);
+  if (sm == nullptr) return;
+  for (const sim::NodeIdx peer : contacts()) route_one(*sm, peer);
+}
+
+void DelegationRouter::on_message_received(const sim::StoredMessage& sm,
+                                           sim::NodeIdx /*from*/) {
+  for (const sim::NodeIdx peer : contacts()) route_one(sm, peer);
+}
+
+}  // namespace dtn::routing

@@ -1,0 +1,22 @@
+#include "routing/direct_delivery.hpp"
+
+#include "sim/world.hpp"
+
+namespace dtn::routing {
+
+void DirectDeliveryRouter::on_contact_up(sim::NodeIdx peer) {
+  const double t = now();
+  for (const auto& sm : buffer().messages()) {
+    if (!sm.msg.expired_at(t) && sm.msg.dst == peer) {
+      send_copy(peer, sm.msg.id, 1, 0);
+    }
+  }
+}
+
+void DirectDeliveryRouter::on_message_created(const sim::Message& m) {
+  for (const sim::NodeIdx peer : contacts()) {
+    if (m.dst == peer) send_copy(peer, m.id, 1, 0);
+  }
+}
+
+}  // namespace dtn::routing

@@ -1,0 +1,18 @@
+// Direct delivery: the source holds its single copy until it meets the
+// destination. The zero-overhead / lowest-delivery extreme; goodput is 1 by
+// construction. Useful as the lower baseline in ablations and tests.
+#pragma once
+
+#include "sim/router.hpp"
+
+namespace dtn::routing {
+
+class DirectDeliveryRouter final : public sim::Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "DirectDelivery"; }
+
+  void on_contact_up(sim::NodeIdx peer) override;
+  void on_message_created(const sim::Message& m) override;
+};
+
+}  // namespace dtn::routing

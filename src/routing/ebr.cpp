@@ -1,0 +1,57 @@
+#include "routing/ebr.hpp"
+
+#include <cmath>
+
+#include "sim/world.hpp"
+
+namespace dtn::routing {
+
+void EbrRouter::roll_window(double now) {
+  if (window_end_ < 0.0) window_end_ = now + params_.window_s;
+  while (now >= window_end_) {
+    ev_ = params_.ewma * current_window_contacts_ + (1.0 - params_.ewma) * ev_;
+    current_window_contacts_ = 0;
+    window_end_ += params_.window_s;
+  }
+}
+
+void EbrRouter::on_tick(double now) { roll_window(now); }
+
+void EbrRouter::on_contact_up(sim::NodeIdx peer) {
+  roll_window(now());
+  ++current_window_contacts_;
+  // EV exchange: one double each way.
+  charge_control_bytes(8);
+  for (const auto& sm : buffer().messages()) try_route(sm, peer);
+}
+
+void EbrRouter::on_message_created(const sim::Message& m) {
+  const sim::StoredMessage* sm = buffer().find(m.id);
+  if (sm == nullptr) return;
+  for (const sim::NodeIdx peer : contacts()) try_route(*sm, peer);
+}
+
+void EbrRouter::try_route(const sim::StoredMessage& sm, sim::NodeIdx peer) {
+  if (sm.msg.expired_at(now())) return;
+  if (sm.msg.dst == peer) {
+    send_copy(peer, sm.msg.id, 1, 0);
+    return;
+  }
+  if (sm.replicas <= 1) return;  // wait phase: destination-only
+  if (peer_has(peer, sm.msg.id)) return;
+  auto* peer_router = dynamic_cast<EbrRouter*>(&world().router_of(peer));
+  if (peer_router == nullptr) return;
+  const double ev_self = ev_;
+  const double ev_peer = peer_router->ev_;
+  const double denom = ev_self + ev_peer;
+  int give;
+  if (denom <= 0.0) {
+    give = sm.replicas / 2;  // no encounter information yet: split evenly
+  } else {
+    give = static_cast<int>(
+        std::floor(static_cast<double>(sm.replicas) * ev_peer / denom));
+  }
+  if (give >= 1) send_copy(peer, sm.msg.id, give, give);
+}
+
+}  // namespace dtn::routing

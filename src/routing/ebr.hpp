@@ -1,0 +1,46 @@
+// EBR — Encounter-Based Routing (Nelson, Bakht & Kravets, INFOCOM 2009):
+// the protocol the paper's EER directly improves on. Each node tracks an
+// encounter value EV as an exponentially weighted moving average over fixed
+// windows:  EV <- w * CWC + (1 - w) * EV  every `window_s` seconds, where
+// CWC counts contacts in the closing window. On contact, a message with M
+// replicas hands over floor(M * EV_peer / (EV_self + EV_peer)); a single
+// replica waits for the destination (quota semantics like Spray-and-Wait).
+//
+// The paper's critique (Sec. I): this EV is one number independent of each
+// message's TTL — EER replaces it with the TTL-conditioned expected EV.
+#pragma once
+
+#include "sim/router.hpp"
+
+namespace dtn::routing {
+
+struct EbrParams {
+  int copies = 10;        ///< λ
+  double window_s = 30.0; ///< EV update window (EBR paper's W)
+  double ewma = 0.85;     ///< EBR paper's α weighting of the current window
+};
+
+class EbrRouter final : public sim::Router {
+ public:
+  explicit EbrRouter(EbrParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "EBR"; }
+  [[nodiscard]] int initial_replicas() const override { return params_.copies; }
+
+  void on_contact_up(sim::NodeIdx peer) override;
+  void on_message_created(const sim::Message& m) override;
+  void on_tick(double now) override;
+
+  [[nodiscard]] double encounter_value() const noexcept { return ev_; }
+
+ private:
+  void try_route(const sim::StoredMessage& sm, sim::NodeIdx peer);
+  void roll_window(double now);
+
+  EbrParams params_;
+  double ev_ = 0.0;
+  int current_window_contacts_ = 0;
+  double window_end_ = -1.0;  ///< initialized on first use
+};
+
+}  // namespace dtn::routing

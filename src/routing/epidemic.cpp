@@ -1,0 +1,42 @@
+#include "routing/epidemic.hpp"
+
+#include "sim/world.hpp"
+
+namespace dtn::routing {
+
+void EpidemicRouter::on_contact_up(sim::NodeIdx peer) { push_all_to(peer); }
+
+void EpidemicRouter::on_message_created(const sim::Message& m) {
+  const sim::StoredMessage* sm = buffer().find(m.id);
+  if (sm != nullptr) push_one(*sm);
+}
+
+void EpidemicRouter::on_message_received(const sim::StoredMessage& sm,
+                                         sim::NodeIdx /*from*/) {
+  // Keep spreading along any other active contacts.
+  push_one(sm);
+}
+
+void EpidemicRouter::push_all_to(sim::NodeIdx peer) {
+  const double t = now();
+  // Destination-bound messages jump the queue.
+  for (const auto& sm : buffer().messages()) {
+    if (sm.msg.expired_at(t)) continue;
+    if (sm.msg.dst == peer) send_copy(peer, sm.msg.id, 1, 0);
+  }
+  for (const auto& sm : buffer().messages()) {
+    if (sm.msg.expired_at(t) || sm.msg.dst == peer) continue;
+    if (!peer_has(peer, sm.msg.id)) send_copy(peer, sm.msg.id, 1, 0);
+  }
+}
+
+void EpidemicRouter::push_one(const sim::StoredMessage& sm) {
+  if (sm.msg.expired_at(now())) return;
+  for (const sim::NodeIdx peer : contacts()) {
+    if (sm.msg.dst == peer || !peer_has(peer, sm.msg.id)) {
+      send_copy(peer, sm.msg.id, 1, 0);
+    }
+  }
+}
+
+}  // namespace dtn::routing

@@ -1,0 +1,25 @@
+// Epidemic routing (Vahdat & Becker, 2000): replicate every message to
+// every encounter that lacks it. Upper-bounds delivery ratio and
+// lower-bounds latency at the price of the worst overhead; the reference
+// point every DTN evaluation starts from.
+#pragma once
+
+#include "sim/router.hpp"
+
+namespace dtn::routing {
+
+class EpidemicRouter final : public sim::Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "Epidemic"; }
+
+  void on_contact_up(sim::NodeIdx peer) override;
+  void on_message_created(const sim::Message& m) override;
+  void on_message_received(const sim::StoredMessage& sm, sim::NodeIdx from) override;
+
+ private:
+  /// Pushes every stored message the peer lacks (destination-bound first).
+  void push_all_to(sim::NodeIdx peer);
+  void push_one(const sim::StoredMessage& sm);
+};
+
+}  // namespace dtn::routing

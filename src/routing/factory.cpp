@@ -1,0 +1,85 @@
+#include "routing/factory.hpp"
+
+#include <stdexcept>
+
+#include "routing/cr.hpp"
+#include "routing/delegation.hpp"
+#include "routing/direct_delivery.hpp"
+#include "routing/ebr.hpp"
+#include "routing/eer.hpp"
+#include "routing/epidemic.hpp"
+#include "routing/first_contact.hpp"
+#include "routing/maxprop.hpp"
+#include "routing/meed.hpp"
+#include "routing/prophet.hpp"
+#include "routing/spray_and_focus.hpp"
+#include "routing/spray_and_wait.hpp"
+
+namespace dtn::routing {
+
+std::vector<std::string> known_protocols() {
+  return {"EER",          "CR",            "EBR",      "MaxProp",
+          "SprayAndWait", "SprayAndFocus", "Epidemic", "DirectDelivery",
+          "PRoPHET",      "MEED",          "FirstContact", "Delegation"};
+}
+
+std::unique_ptr<sim::Router> create_router(const ProtocolConfig& config) {
+  if (config.name == "EER") {
+    EerParams p;
+    p.copies = config.copies;
+    p.alpha = config.alpha;
+    p.window = config.window;
+    return std::make_unique<EerRouter>(p);
+  }
+  if (config.name == "CR") {
+    if (!config.communities) {
+      throw std::invalid_argument("CR requires a community table");
+    }
+    CrParams p;
+    p.copies = config.copies;
+    p.alpha = config.alpha;
+    p.window = config.window;
+    return std::make_unique<CrRouter>(p, config.communities);
+  }
+  if (config.name == "EBR") {
+    EbrParams p;
+    p.copies = config.copies;
+    return std::make_unique<EbrRouter>(p);
+  }
+  if (config.name == "MaxProp") {
+    return std::make_unique<MaxPropRouter>(MaxPropParams{});
+  }
+  if (config.name == "SprayAndWait") {
+    SprayAndWaitParams p;
+    p.copies = config.copies;
+    return std::make_unique<SprayAndWaitRouter>(p);
+  }
+  if (config.name == "SprayAndFocus") {
+    SprayAndFocusParams p;
+    p.copies = config.copies;
+    return std::make_unique<SprayAndFocusRouter>(p);
+  }
+  if (config.name == "Epidemic") {
+    return std::make_unique<EpidemicRouter>();
+  }
+  if (config.name == "DirectDelivery") {
+    return std::make_unique<DirectDeliveryRouter>();
+  }
+  if (config.name == "PRoPHET") {
+    return std::make_unique<ProphetRouter>(ProphetParams{});
+  }
+  if (config.name == "MEED") {
+    MeedParams p;
+    p.window = config.window;
+    return std::make_unique<MeedRouter>(p);
+  }
+  if (config.name == "FirstContact") {
+    return std::make_unique<FirstContactRouter>();
+  }
+  if (config.name == "Delegation") {
+    return std::make_unique<DelegationRouter>();
+  }
+  throw std::invalid_argument("unknown protocol: " + config.name);
+}
+
+}  // namespace dtn::routing

@@ -1,0 +1,32 @@
+// Router factory: builds any protocol in the repository by name, with the
+// shared knobs the experiments sweep (λ, α, window). One factory call per
+// node — router instances are per-node state and never shared.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/community.hpp"
+#include "sim/router.hpp"
+
+namespace dtn::routing {
+
+struct ProtocolConfig {
+  std::string name = "EER";  ///< see known_protocols()
+  int copies = 10;           ///< λ (quota-based protocols)
+  double alpha = 0.28;       ///< α (EER / CR)
+  std::size_t window = 32;   ///< contact-history sliding window (EER / CR)
+  /// Required by CR; ignored by every other protocol.
+  std::shared_ptr<const core::CommunityTable> communities;
+};
+
+/// Protocol names accepted by create_router, in the paper's Figure-2 order
+/// first, extensions after.
+std::vector<std::string> known_protocols();
+
+/// Throws std::invalid_argument for unknown names or a CR config without a
+/// community table.
+std::unique_ptr<sim::Router> create_router(const ProtocolConfig& config);
+
+}  // namespace dtn::routing

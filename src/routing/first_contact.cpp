@@ -1,0 +1,30 @@
+#include "routing/first_contact.hpp"
+
+#include "sim/world.hpp"
+
+namespace dtn::routing {
+
+void FirstContactRouter::route_one(const sim::StoredMessage& sm, sim::NodeIdx peer) {
+  if (sm.msg.expired_at(now())) return;
+  if (sm.msg.dst == peer) {
+    send_copy(peer, sm.msg.id, 1, 0);
+    return;
+  }
+  if (peer_has(peer, sm.msg.id)) return;
+  send_copy(peer, sm.msg.id, 1, 1);  // hand the single copy to whoever is first
+}
+
+void FirstContactRouter::on_contact_up(sim::NodeIdx peer) {
+  for (const auto& sm : buffer().messages()) route_one(sm, peer);
+}
+
+void FirstContactRouter::on_message_created(const sim::Message& m) {
+  const sim::StoredMessage* sm = buffer().find(m.id);
+  if (sm == nullptr) return;
+  for (const sim::NodeIdx peer : contacts()) {
+    route_one(*sm, peer);
+    if (!buffer().has(m.id)) break;  // copy already queued away
+  }
+}
+
+}  // namespace dtn::routing

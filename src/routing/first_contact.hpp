@@ -1,0 +1,22 @@
+// First Contact (Jain, Fall & Patra, SIGCOMM 2004 — the paper's [9]):
+// single copy, handed to the first encounter, unconditionally. The
+// zero-knowledge single-copy baseline; it bounds from below what any
+// utility-driven forwarder (MEED, EER single-phase) must beat.
+#pragma once
+
+#include "sim/router.hpp"
+
+namespace dtn::routing {
+
+class FirstContactRouter final : public sim::Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "FirstContact"; }
+
+  void on_contact_up(sim::NodeIdx peer) override;
+  void on_message_created(const sim::Message& m) override;
+
+ private:
+  void route_one(const sim::StoredMessage& sm, sim::NodeIdx peer);
+};
+
+}  // namespace dtn::routing

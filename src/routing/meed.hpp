@@ -1,0 +1,49 @@
+// MEED — Minimum Estimated Expected Delay (Jones, Li & Ward, WDTN 2005),
+// the paper's reference [10] and the direct ancestor of EER's single-copy
+// phase. Pure single-copy link-state routing: nodes maintain the MI matrix
+// of *average* meeting intervals (no elapsed-time conditioning — that
+// refinement is exactly what EER's Theorem 2 adds), run Dijkstra over it,
+// and forward the one copy to an encounter with a strictly smaller
+// estimated delay to the destination. Comparing MEED vs EER-with-λ=1
+// isolates the value of Theorem 2's conditioning.
+#pragma once
+
+#include <memory>
+
+#include "core/contact_history.hpp"
+#include "core/mi_matrix.hpp"
+#include "sim/router.hpp"
+
+namespace dtn::routing {
+
+struct MeedParams {
+  std::size_t window = 32;  ///< sliding window for the interval averages
+};
+
+class MeedRouter final : public sim::Router {
+ public:
+  explicit MeedRouter(MeedParams params) : params_(params), history_(params.window) {}
+
+  [[nodiscard]] std::string name() const override { return "MEED"; }
+
+  void on_contact_up(sim::NodeIdx peer) override;
+  void on_message_created(const sim::Message& m) override;
+
+  /// Estimated expected delay self -> dst over the MI graph (+inf unknown).
+  [[nodiscard]] double eed(sim::NodeIdx dst);
+
+  [[nodiscard]] const core::MiMatrix& mi() const { return *mi_; }
+
+ private:
+  void ensure_state();
+  void route_one(const sim::StoredMessage& sm, sim::NodeIdx peer,
+                 MeedRouter* peer_router);
+
+  MeedParams params_;
+  core::ContactHistory history_;
+  std::unique_ptr<core::MiMatrix> mi_;
+  std::vector<double> dist_;
+  std::uint64_t dist_version_ = ~0ULL;
+};
+
+}  // namespace dtn::routing

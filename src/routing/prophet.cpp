@@ -1,0 +1,80 @@
+#include "routing/prophet.hpp"
+
+#include <cmath>
+
+#include "sim/world.hpp"
+
+namespace dtn::routing {
+
+void ProphetRouter::ensure_size(sim::NodeIdx n) {
+  if (static_cast<sim::NodeIdx>(p_.size()) < n) {
+    p_.resize(static_cast<std::size_t>(n), 0.0);
+  }
+}
+
+void ProphetRouter::age(double now) {
+  const double dt = now - last_aging_;
+  if (dt <= 0.0) return;
+  const double factor = std::pow(params_.gamma, dt / params_.aging_unit_s);
+  for (double& v : p_) v *= factor;
+  last_aging_ = now;
+}
+
+double ProphetRouter::predictability(sim::NodeIdx d) const {
+  if (d < 0 || static_cast<std::size_t>(d) >= p_.size()) return 0.0;
+  return p_[static_cast<std::size_t>(d)];
+}
+
+void ProphetRouter::on_contact_up(sim::NodeIdx peer) {
+  ensure_size(world().node_count());
+  age(now());
+  p_[static_cast<std::size_t>(peer)] +=
+      (1.0 - p_[static_cast<std::size_t>(peer)]) * params_.p_init;
+
+  auto* peer_router = dynamic_cast<ProphetRouter*>(&world().router_of(peer));
+  if (peer_router != nullptr) {
+    peer_router->ensure_size(world().node_count());
+    peer_router->age(now());
+    charge_control_bytes(static_cast<std::int64_t>(p_.size()) * 8);
+    // Transitivity through the encounter (both directions).
+    const double p_ab = p_[static_cast<std::size_t>(peer)];
+    const double p_ba = peer_router->p_[static_cast<std::size_t>(self())];
+    for (std::size_t c = 0; c < p_.size(); ++c) {
+      const auto cn = static_cast<sim::NodeIdx>(c);
+      if (cn == self() || cn == peer) continue;
+      p_[c] = std::max(p_[c], p_ab * peer_router->p_[c] * params_.beta);
+      peer_router->p_[c] =
+          std::max(peer_router->p_[c], p_ba * p_[c] * params_.beta);
+    }
+  }
+
+  // GRTR forwarding: replicate messages the peer is better positioned for.
+  const double t = now();
+  for (const auto& sm : buffer().messages()) {
+    if (sm.msg.expired_at(t)) continue;
+    if (sm.msg.dst == peer) {
+      send_copy(peer, sm.msg.id, 1, 0);
+      continue;
+    }
+    if (peer_has(peer, sm.msg.id) || peer_router == nullptr) continue;
+    if (peer_router->predictability(sm.msg.dst) > predictability(sm.msg.dst)) {
+      send_copy(peer, sm.msg.id, 1, 0);
+    }
+  }
+}
+
+void ProphetRouter::on_message_created(const sim::Message& m) {
+  for (const sim::NodeIdx peer : contacts()) {
+    if (m.dst == peer) {
+      send_copy(peer, m.id, 1, 0);
+      continue;
+    }
+    auto* peer_router = dynamic_cast<ProphetRouter*>(&world().router_of(peer));
+    if (peer_router != nullptr &&
+        peer_router->predictability(m.dst) > predictability(m.dst)) {
+      send_copy(peer, m.id, 1, 0);
+    }
+  }
+}
+
+}  // namespace dtn::routing

@@ -1,0 +1,46 @@
+// PRoPHET (Lindgren, Doria & Schelen, MobiHoc 2003) — probabilistic routing
+// with delivery predictabilities. Not part of the paper's Figure 2 lineup
+// but cited in its related work; included as an extension baseline for the
+// ablation benches.
+//
+//   on encounter:   P(a,b) <- P + (1 - P) * p_init
+//   aging:          P <- P * gamma^(Δt / aging_unit)   (applied lazily)
+//   transitivity:   P(a,c) <- max(P(a,c), P(a,b) * P(b,c) * beta)
+//   forwarding:     replicate to peer when P_peer(dst) > P_self(dst) (GRTR)
+#pragma once
+
+#include <vector>
+
+#include "sim/router.hpp"
+
+namespace dtn::routing {
+
+struct ProphetParams {
+  double p_init = 0.75;
+  double gamma = 0.98;
+  double beta = 0.25;
+  double aging_unit_s = 30.0;
+};
+
+class ProphetRouter final : public sim::Router {
+ public:
+  explicit ProphetRouter(ProphetParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "PRoPHET"; }
+
+  void on_contact_up(sim::NodeIdx peer) override;
+  void on_message_created(const sim::Message& m) override;
+
+  /// Delivery predictability toward `d`, aged to the current time.
+  [[nodiscard]] double predictability(sim::NodeIdx d) const;
+
+ private:
+  void ensure_size(sim::NodeIdx n);
+  void age(double now);
+
+  ProphetParams params_;
+  std::vector<double> p_;
+  double last_aging_ = 0.0;
+};
+
+}  // namespace dtn::routing

@@ -1,0 +1,60 @@
+#include "routing/spray_and_focus.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/world.hpp"
+
+namespace dtn::routing {
+
+namespace {
+constexpr double kNever = -std::numeric_limits<double>::infinity();
+}
+
+SprayAndFocusRouter::SprayAndFocusRouter(SprayAndFocusParams params)
+    : SprayAndWaitRouter(SprayAndWaitParams{params.copies, params.binary}),
+      focus_params_(params) {}
+
+void SprayAndFocusRouter::ensure_size(sim::NodeIdx n) {
+  if (static_cast<sim::NodeIdx>(last_seen_.size()) < n) {
+    last_seen_.resize(static_cast<std::size_t>(n), kNever);
+  }
+}
+
+double SprayAndFocusRouter::last_seen(sim::NodeIdx d) const {
+  if (d < 0 || static_cast<std::size_t>(d) >= last_seen_.size()) return kNever;
+  return last_seen_[static_cast<std::size_t>(d)];
+}
+
+void SprayAndFocusRouter::on_contact_up(sim::NodeIdx peer) {
+  ensure_size(world().node_count());
+  last_seen_[static_cast<std::size_t>(peer)] = now();
+
+  // Timer transitivity: adopt the peer's fresher timers with a penalty.
+  // This is protocol state exchange — charge it as control traffic.
+  auto* peer_router = dynamic_cast<SprayAndFocusRouter*>(&world().router_of(peer));
+  if (peer_router != nullptr) {
+    peer_router->ensure_size(world().node_count());
+    charge_control_bytes(static_cast<std::int64_t>(last_seen_.size()) * 8);
+    for (std::size_t d = 0; d < last_seen_.size(); ++d) {
+      const double theirs = peer_router->last_seen_[d] - focus_params_.transitivity_s;
+      last_seen_[d] = std::max(last_seen_[d], theirs);
+    }
+  }
+
+  SprayAndWaitRouter::on_contact_up(peer);
+}
+
+void SprayAndFocusRouter::single_copy_phase(const sim::StoredMessage& sm,
+                                            sim::NodeIdx peer) {
+  auto* peer_router = dynamic_cast<SprayAndFocusRouter*>(&world().router_of(peer));
+  if (peer_router == nullptr) return;
+  const double mine = last_seen(sm.msg.dst);
+  const double theirs = peer_router->last_seen(sm.msg.dst);
+  // Forward when the peer heard from the destination more recently.
+  if (theirs > mine + focus_params_.forward_margin_s) {
+    send_copy(peer, sm.msg.id, 1, 1);
+  }
+}
+
+}  // namespace dtn::routing

@@ -1,0 +1,37 @@
+#include "routing/spray_and_wait.hpp"
+
+#include "sim/world.hpp"
+
+namespace dtn::routing {
+
+int SprayAndWaitRouter::spray_amount(const sim::StoredMessage& sm) const {
+  if (sm.replicas <= 1) return 0;
+  return params_.binary ? sm.replicas / 2 : 1;
+}
+
+void SprayAndWaitRouter::try_spray(const sim::StoredMessage& sm, sim::NodeIdx peer) {
+  if (sm.msg.expired_at(now())) return;
+  if (sm.msg.dst == peer) {
+    send_copy(peer, sm.msg.id, 1, 0);
+    return;
+  }
+  if (peer_has(peer, sm.msg.id)) return;
+  const int give = spray_amount(sm);
+  if (give >= 1) {
+    send_copy(peer, sm.msg.id, give, give);
+  } else {
+    single_copy_phase(sm, peer);
+  }
+}
+
+void SprayAndWaitRouter::on_contact_up(sim::NodeIdx peer) {
+  for (const auto& sm : buffer().messages()) try_spray(sm, peer);
+}
+
+void SprayAndWaitRouter::on_message_created(const sim::Message& m) {
+  const sim::StoredMessage* sm = buffer().find(m.id);
+  if (sm == nullptr) return;
+  for (const sim::NodeIdx peer : contacts()) try_spray(*sm, peer);
+}
+
+}  // namespace dtn::routing

@@ -1,0 +1,40 @@
+// Spray-and-Wait (Spyropoulos et al., WDTN 2005). Spray phase: a node with
+// M > 1 replicas hands over floor(M/2) (binary mode) or exactly 1 (source
+// mode) to an encounter that has none. Wait phase: the last replica is only
+// delivered directly to the destination.
+#pragma once
+
+#include "sim/router.hpp"
+
+namespace dtn::routing {
+
+struct SprayAndWaitParams {
+  int copies = 10;     ///< λ: initial replica quota per message
+  bool binary = true;  ///< binary (half) vs source (one-at-a-time) spray
+};
+
+class SprayAndWaitRouter : public sim::Router {
+ public:
+  explicit SprayAndWaitRouter(SprayAndWaitParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "SprayAndWait"; }
+  [[nodiscard]] int initial_replicas() const override { return params_.copies; }
+
+  void on_contact_up(sim::NodeIdx peer) override;
+  void on_message_created(const sim::Message& m) override;
+
+ protected:
+  /// Spray decision for one stored message toward one peer; returns the
+  /// replica count to hand over (0 = do not send). Shared with
+  /// Spray-and-Focus, which overrides only the single-copy phase.
+  [[nodiscard]] int spray_amount(const sim::StoredMessage& sm) const;
+  void try_spray(const sim::StoredMessage& sm, sim::NodeIdx peer);
+  /// Wait phase hook: called for single-replica messages that are not
+  /// destined to `peer`. Default does nothing (wait).
+  virtual void single_copy_phase(const sim::StoredMessage& /*sm*/,
+                                 sim::NodeIdx /*peer*/) {}
+
+  SprayAndWaitParams params_;
+};
+
+}  // namespace dtn::routing

@@ -1,0 +1,49 @@
+#include "sim/buffer.hpp"
+
+#include <cassert>
+
+namespace dtn::sim {
+
+Buffer::Buffer(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+StoredMessage* Buffer::find(MsgId id) {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+const StoredMessage* Buffer::find(MsgId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+void Buffer::insert(StoredMessage sm) {
+  assert(!has(sm.msg.id));
+  assert(fits(sm.msg));
+  used_ += sm.msg.size_bytes;
+  const MsgId id = sm.msg.id;
+  store_.push_back(std::move(sm));
+  index_.emplace(id, std::prev(store_.end()));
+}
+
+bool Buffer::erase(MsgId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  used_ -= it->second->msg.size_bytes;
+  store_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+MsgId Buffer::oldest() const {
+  return store_.empty() ? kInvalidMsg : store_.front().msg.id;
+}
+
+std::vector<MsgId> Buffer::expired_ids(double t) const {
+  std::vector<MsgId> out;
+  for (const auto& sm : store_) {
+    if (sm.msg.expired_at(t)) out.push_back(sm.msg.id);
+  }
+  return out;
+}
+
+}  // namespace dtn::sim

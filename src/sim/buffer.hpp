@@ -1,0 +1,69 @@
+// Per-node message store with a byte-capacity limit (paper: 1 MB per node,
+// 25 KB packets). Insertion order is preserved so the default drop policy
+// ("oldest received first", ONE's default) is O(1); protocols with custom
+// policies (MaxProp) pick victims through the Router::choose_drop_victim
+// hook instead.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace dtn::sim {
+
+class Buffer {
+ public:
+  explicit Buffer(std::int64_t capacity_bytes);
+
+  [[nodiscard]] std::int64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::int64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::int64_t free_bytes() const noexcept { return capacity_ - used_; }
+  [[nodiscard]] std::size_t count() const noexcept { return index_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return index_.empty(); }
+
+  [[nodiscard]] bool has(MsgId id) const { return index_.count(id) > 0; }
+  /// nullptr when absent. The pointer stays valid until the copy is erased.
+  [[nodiscard]] StoredMessage* find(MsgId id);
+  [[nodiscard]] const StoredMessage* find(MsgId id) const;
+
+  /// True iff the message fits the total capacity at all.
+  [[nodiscard]] bool admissible(const Message& m) const noexcept {
+    return m.size_bytes <= capacity_;
+  }
+  /// True iff it fits right now without eviction.
+  [[nodiscard]] bool fits(const Message& m) const noexcept {
+    return m.size_bytes <= free_bytes();
+  }
+
+  /// Inserts a copy. Precondition: !has(id) and fits(). Callers evict first.
+  void insert(StoredMessage sm);
+
+  /// Removes a copy; returns true if it was present.
+  bool erase(MsgId id);
+
+  /// Copy received oldest (front of insertion order); kInvalidMsg if empty.
+  [[nodiscard]] MsgId oldest() const;
+
+  /// Stable iteration in insertion order (oldest first).
+  [[nodiscard]] const std::list<StoredMessage>& messages() const noexcept {
+    return store_;
+  }
+  /// Mutable access for routers that update replica counts in place.
+  [[nodiscard]] std::list<StoredMessage>& messages() noexcept { return store_; }
+
+  /// Ids of all copies whose message has expired at time t.
+  [[nodiscard]] std::vector<MsgId> expired_ids(double t) const;
+
+  static constexpr MsgId kInvalidMsg = -1;
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  std::list<StoredMessage> store_;  // insertion order == reception order
+  std::unordered_map<MsgId, std::list<StoredMessage>::iterator> index_;
+};
+
+}  // namespace dtn::sim

@@ -1,0 +1,39 @@
+// Message model. A Message is the immutable identity of an end-to-end
+// datagram; a StoredMessage is one node's copy of it, carrying the node's
+// share of the replica quota (quota-based protocols) and bookkeeping.
+#pragma once
+
+#include <cstdint>
+
+namespace dtn::sim {
+
+using MsgId = std::int64_t;
+using NodeIdx = std::int32_t;
+
+struct Message {
+  MsgId id = -1;
+  NodeIdx src = -1;
+  NodeIdx dst = -1;
+  double created = 0.0;    ///< simulation time of creation (s)
+  double ttl = 0.0;        ///< time-to-live (s)
+  std::int64_t size_bytes = 0;
+
+  /// Absolute expiry time. A delivery only counts if it completes strictly
+  /// before this instant (paper Sec. III-A2: "within the TTL").
+  [[nodiscard]] double expiry() const noexcept { return created + ttl; }
+  [[nodiscard]] bool expired_at(double t) const noexcept { return t >= expiry(); }
+  /// Residual TTL at time t, clamped at 0 — the τ fed to EEV/ENEC.
+  [[nodiscard]] double remaining_ttl(double t) const noexcept {
+    const double r = expiry() - t;
+    return r > 0.0 ? r : 0.0;
+  }
+};
+
+struct StoredMessage {
+  Message msg;
+  int replicas = 1;        ///< quota held by this node (>= 1 while stored)
+  int hop_count = 0;       ///< hops from the source to this holder
+  double received_at = 0.0;
+};
+
+}  // namespace dtn::sim

@@ -1,0 +1,34 @@
+#include "sim/metrics.hpp"
+
+namespace dtn::sim {
+
+void Metrics::on_created(const Message& /*m*/) { ++created_; }
+
+void Metrics::on_relayed() { ++relayed_; }
+
+void Metrics::on_transfer_started() { ++started_; }
+
+void Metrics::on_transfer_aborted() { ++aborted_; }
+
+void Metrics::on_delivered(const Message& m, double t, int hop_count) {
+  const auto [it, inserted] = delivery_time_.emplace(m.id, t);
+  if (!inserted) return;  // only the first replica's arrival counts
+  latency_.add(t - m.created);
+  hops_.add(static_cast<double>(hop_count));
+}
+
+void Metrics::on_dropped() { ++dropped_; }
+
+void Metrics::on_expired() { ++expired_; }
+
+double Metrics::delivery_ratio() const noexcept {
+  if (created_ == 0) return 0.0;
+  return static_cast<double>(delivered()) / static_cast<double>(created_);
+}
+
+double Metrics::goodput() const noexcept {
+  if (relayed_ == 0) return 0.0;
+  return static_cast<double>(delivered()) / static_cast<double>(relayed_);
+}
+
+}  // namespace dtn::sim

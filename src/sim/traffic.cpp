@@ -1,0 +1,35 @@
+#include "sim/traffic.hpp"
+
+#include <limits>
+
+namespace dtn::sim {
+
+TrafficGenerator::TrafficGenerator(TrafficParams params, util::Pcg32 rng,
+                                   NodeIdx node_count)
+    : params_(params), rng_(rng), node_count_(node_count) {
+  next_time_ = params_.start +
+               rng_.uniform(params_.interval_min, params_.interval_max);
+  if (next_time_ > params_.stop || node_count_ < 2) {
+    next_time_ = std::numeric_limits<double>::infinity();
+  }
+}
+
+Message TrafficGenerator::pop(MsgId id) {
+  Message m;
+  m.id = id;
+  m.created = next_time_;
+  m.ttl = params_.ttl;
+  m.size_bytes = params_.size_bytes;
+  m.src = static_cast<NodeIdx>(rng_.uniform_int(0, node_count_ - 1));
+  // Distinct destination: draw from the remaining n-1 ids.
+  auto d = static_cast<NodeIdx>(rng_.uniform_int(0, node_count_ - 2));
+  m.dst = d >= m.src ? d + 1 : d;
+
+  next_time_ += rng_.uniform(params_.interval_min, params_.interval_max);
+  if (next_time_ > params_.stop) {
+    next_time_ = std::numeric_limits<double>::infinity();
+  }
+  return m;
+}
+
+}  // namespace dtn::sim

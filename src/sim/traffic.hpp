@@ -1,0 +1,42 @@
+// Network-wide message generator: one new message every interval drawn
+// uniformly from [interval_min, interval_max], with uniformly random
+// distinct (src, dst). Matches the ONE simulator's default MessageEventGenerator.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+
+namespace dtn::sim {
+
+struct TrafficParams {
+  double interval_min = 25.0;  ///< s between message creations
+  double interval_max = 35.0;
+  double start = 0.0;          ///< first message no earlier than this
+  /// Last creation time. The harness sets this to duration - TTL so every
+  /// message has a full TTL window inside the run (see DESIGN.md).
+  double stop = 1e18;
+  std::int64_t size_bytes = 25 * 1024;  ///< paper: 25 KB packets
+  double ttl = 1200.0;                  ///< paper: 20 minutes
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(TrafficParams params, util::Pcg32 rng, NodeIdx node_count);
+
+  /// Time of the next creation event, or +inf when exhausted.
+  [[nodiscard]] double next_time() const noexcept { return next_time_; }
+
+  /// Pops the next message (advancing the schedule). Caller guarantees
+  /// now >= next_time().
+  Message pop(MsgId id);
+
+ private:
+  TrafficParams params_;
+  util::Pcg32 rng_;
+  NodeIdx node_count_;
+  double next_time_;
+};
+
+}  // namespace dtn::sim

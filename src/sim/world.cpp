@@ -1,0 +1,338 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace dtn::sim {
+
+World::World(WorldConfig config)
+    : config_(config), next_sweep_(config.ttl_sweep_interval), grid_(config.radio_range) {}
+
+World::~World() = default;
+
+NodeIdx World::add_node(mobility::MovementModelPtr movement,
+                        std::unique_ptr<Router> router) {
+  assert(!started_ && "nodes must be added before run()");
+  const auto idx = static_cast<NodeIdx>(nodes_.size());
+  auto rng = util::derive_stream(config_.seed, static_cast<std::uint64_t>(idx),
+                                 util::StreamPurpose::kRouting);
+  nodes_.emplace_back(std::move(movement), std::move(router), config_.buffer_bytes, rng);
+  inbound_queued_.emplace_back();
+  Node& node = nodes_.back();
+  node.router->attach(this, idx);
+  auto move_rng = util::derive_stream(config_.seed, static_cast<std::uint64_t>(idx),
+                                      util::StreamPurpose::kMovement);
+  node.movement->init(move_rng, 0.0);
+  node.pos = node.movement->position();
+  return idx;
+}
+
+void World::set_traffic(const TrafficParams& params) {
+  auto rng = util::derive_stream(config_.seed, 0, util::StreamPurpose::kTraffic);
+  traffic_ = std::make_unique<TrafficGenerator>(params, rng,
+                                                static_cast<NodeIdx>(nodes_.size()));
+}
+
+std::uint64_t World::pair_key(NodeIdx a, NodeIdx b) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+Buffer& World::buffer_of(NodeIdx node) {
+  return nodes_.at(static_cast<std::size_t>(node)).buffer;
+}
+
+const Buffer& World::buffer_of(NodeIdx node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).buffer;
+}
+
+Router& World::router_of(NodeIdx node) {
+  return *nodes_.at(static_cast<std::size_t>(node)).router;
+}
+
+const Router& World::router_of(NodeIdx node) const {
+  return *nodes_.at(static_cast<std::size_t>(node)).router;
+}
+
+geo::Vec2 World::position_of(NodeIdx node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).pos;
+}
+
+util::Pcg32& World::routing_rng(NodeIdx node) {
+  return nodes_.at(static_cast<std::size_t>(node)).routing_rng;
+}
+
+bool World::in_contact(NodeIdx a, NodeIdx b) const {
+  return connections_.count(pair_key(a, b)) > 0;
+}
+
+std::vector<NodeIdx> World::contacts_of(NodeIdx node) const {
+  std::vector<NodeIdx> result;
+  for (const auto& [key, conn] : connections_) {
+    const auto lo = static_cast<NodeIdx>(key & 0xffffffffu);
+    const auto hi = static_cast<NodeIdx>(key >> 32);
+    if (lo == node) result.push_back(hi);
+    else if (hi == node) result.push_back(lo);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool World::peer_has(NodeIdx peer, MsgId id) const {
+  if (buffer_of(peer).has(id)) return true;
+  // Also true when a transfer carrying the message toward `peer` is queued;
+  // prevents two contacts from double-sending the same copy.
+  const auto& inbound = inbound_queued_.at(static_cast<std::size_t>(peer));
+  return inbound.count(id) > 0;
+}
+
+bool World::enqueue_transfer(NodeIdx from, NodeIdx to, MsgId id, int r_recv,
+                             int r_deduct) {
+  if (from == to || r_recv <= 0 || r_deduct < 0) return false;
+  const auto it = connections_.find(pair_key(from, to));
+  if (it == connections_.end()) return false;  // not in contact
+  const StoredMessage* sm = buffer_of(from).find(id);
+  if (sm == nullptr || sm->msg.expired_at(now_)) return false;
+  if (r_deduct > sm->replicas) return false;
+  // Refuse duplicates already queued on this connection toward `to`.
+  for (const auto& tr : it->second.queue) {
+    if (tr.msg.id == id && tr.to == to) return false;
+  }
+  Transfer tr;
+  tr.from = from;
+  tr.to = to;
+  tr.msg = sm->msg;
+  tr.r_recv = r_recv;
+  tr.r_deduct = r_deduct;
+  tr.bytes_left = static_cast<double>(sm->msg.size_bytes);
+  it->second.queue.push_back(tr);
+  inbound_queued_[static_cast<std::size_t>(to)].insert(id);
+  return true;
+}
+
+void World::unindex_inbound(const Transfer& tr) {
+  auto& inbound = inbound_queued_[static_cast<std::size_t>(tr.to)];
+  const auto it = inbound.find(tr.msg.id);
+  if (it != inbound.end()) inbound.erase(it);
+}
+
+void World::inject_message(const Message& m) {
+  assert(m.src >= 0 && m.src < node_count());
+  assert(m.dst >= 0 && m.dst < node_count());
+  metrics_.on_created(m);
+  Node& src = nodes_[static_cast<std::size_t>(m.src)];
+  if (!src.buffer.admissible(m)) {
+    metrics_.on_dropped();
+    return;
+  }
+  if (!make_room(m.src, m)) {
+    metrics_.on_dropped();
+    return;
+  }
+  StoredMessage sm;
+  sm.msg = m;
+  sm.replicas = std::max(1, src.router->initial_replicas());
+  sm.hop_count = 0;
+  sm.received_at = now_;
+  src.buffer.insert(sm);
+  src.router->on_message_created(m);
+}
+
+bool World::make_room(NodeIdx node, const Message& msg) {
+  Buffer& buf = buffer_of(node);
+  if (!buf.admissible(msg)) return false;
+  while (!buf.fits(msg)) {
+    if (buf.empty()) return false;
+    const MsgId victim = router_of(node).choose_drop_victim(buf);
+    if (victim == Buffer::kInvalidMsg || !buf.erase(victim)) {
+      // Defensive: a router returning a bogus victim must not loop forever.
+      if (!buf.erase(buf.oldest())) return false;
+    }
+    metrics_.on_dropped();
+  }
+  return true;
+}
+
+void World::run(double duration) {
+  started_ = true;
+  const auto steps = static_cast<std::int64_t>(std::ceil(duration / config_.step_dt));
+  for (std::int64_t i = 0; i < steps; ++i) step();
+}
+
+void World::step() {
+  started_ = true;
+  now_ += config_.step_dt;
+  ++step_count_;
+  move_nodes();
+  detect_contacts();
+  generate_traffic();
+  progress_transfers();
+  if (now_ >= next_sweep_) {
+    sweep_expired();
+    next_sweep_ += config_.ttl_sweep_interval;
+    for (auto& node : nodes_) node.router->on_tick(now_);
+  }
+}
+
+void World::move_nodes() {
+  const double dt = config_.step_dt;
+  for (auto& node : nodes_) {
+    node.movement->step(now_ - dt, dt);
+    node.pos = node.movement->position();
+  }
+}
+
+void World::detect_contacts() {
+  grid_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    grid_.insert(static_cast<NodeIdx>(i), nodes_[i].pos);
+  }
+  auto pairs = grid_.all_pairs(config_.radio_range);
+  std::sort(pairs.begin(), pairs.end());  // deterministic callback order
+
+  std::unordered_set<std::uint64_t> current;
+  current.reserve(pairs.size() * 2);
+  for (const auto& [a, b] : pairs) current.insert(pair_key(a, b));
+
+  // Link-down: connections whose endpoints moved out of range.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (current.count(it->first) == 0) {
+      abort_connection_queue(it->second);
+      const auto lo = static_cast<NodeIdx>(it->first & 0xffffffffu);
+      const auto hi = static_cast<NodeIdx>(it->first >> 32);
+      it = connections_.erase(it);
+      nodes_[static_cast<std::size_t>(lo)].router->on_contact_down(hi);
+      nodes_[static_cast<std::size_t>(hi)].router->on_contact_down(lo);
+    } else {
+      ++it;
+    }
+  }
+
+  // Link-up: new pairs, in sorted order for determinism.
+  for (const auto& [a, b] : pairs) {
+    const auto key = pair_key(a, b);
+    if (connections_.count(key) > 0) continue;
+    connections_.emplace(key, Connection{});
+    ++contact_events_;
+    nodes_[static_cast<std::size_t>(a)].router->on_contact_up(b);
+    nodes_[static_cast<std::size_t>(b)].router->on_contact_up(a);
+  }
+}
+
+void World::abort_connection_queue(Connection& conn) {
+  for (auto& tr : conn.queue) {
+    if (tr.started) metrics_.on_transfer_aborted();
+    unindex_inbound(tr);
+  }
+  conn.queue.clear();
+}
+
+void World::progress_transfers() {
+  const double bytes_per_step = config_.bitrate_bps / 8.0 * config_.step_dt;
+  for (auto& [key, conn] : connections_) {
+    double budget = bytes_per_step;  // half-duplex: shared per connection
+    while (budget > 0.0 && !conn.queue.empty()) {
+      Transfer& tr = conn.queue.front();
+      if (!tr.started) {
+        tr.started = true;
+        metrics_.on_transfer_started();
+      }
+      const double sent = std::min(budget, tr.bytes_left);
+      tr.bytes_left -= sent;
+      budget -= sent;
+      if (tr.bytes_left <= 1e-9) {
+        Transfer done = tr;
+        conn.queue.pop_front();
+        unindex_inbound(done);
+        complete_transfer(done);
+      }
+    }
+  }
+}
+
+void World::complete_transfer(Transfer& tr) {
+  metrics_.on_relayed();
+  Node& sender = nodes_[static_cast<std::size_t>(tr.from)];
+  Node& receiver = nodes_[static_cast<std::size_t>(tr.to)];
+
+  // Sender side: deduct the handed-over replicas. The copy may have been
+  // evicted or expired mid-transfer; the bytes were spent regardless.
+  StoredMessage* src_copy = sender.buffer.find(tr.msg.id);
+  int sender_hops = src_copy != nullptr ? src_copy->hop_count : 0;
+  if (src_copy != nullptr && tr.r_deduct > 0) {
+    src_copy->replicas -= tr.r_deduct;
+    if (src_copy->replicas <= 0) sender.buffer.erase(tr.msg.id);
+  }
+
+  const bool is_destination = tr.to == tr.msg.dst;
+  const bool within_ttl = !tr.msg.expired_at(now_);
+
+  if (is_destination) {
+    const bool delivered = within_ttl && !metrics_.is_delivered(tr.msg.id);
+    if (within_ttl) {
+      metrics_.on_delivered(tr.msg, now_, sender_hops + 1);
+    }
+    // The destination never re-stores or re-forwards; the sender drops its
+    // copy entirely (it has proof of delivery).
+    if (sender.buffer.has(tr.msg.id)) sender.buffer.erase(tr.msg.id);
+    sender.router->on_transfer_success(tr.msg, tr.to, tr.r_recv, within_ttl);
+    if (within_ttl) {
+      sender.router->on_delivered(tr.msg);
+      receiver.router->on_delivered(tr.msg);
+    }
+    (void)delivered;
+    return;
+  }
+
+  if (tr.msg.expired_at(now_)) {
+    // Arrived at a relay after expiry: receiver discards immediately.
+    metrics_.on_expired();
+    sender.router->on_transfer_success(tr.msg, tr.to, tr.r_recv, false);
+    return;
+  }
+
+  if (StoredMessage* existing = receiver.buffer.find(tr.msg.id)) {
+    // Concurrent copies merged: quota is conserved.
+    existing->replicas += tr.r_recv;
+    sender.router->on_transfer_success(tr.msg, tr.to, tr.r_recv, false);
+    return;
+  }
+
+  if (!make_room(tr.to, tr.msg)) {
+    metrics_.on_dropped();
+    sender.router->on_transfer_success(tr.msg, tr.to, tr.r_recv, false);
+    return;
+  }
+  StoredMessage sm;
+  sm.msg = tr.msg;
+  sm.replicas = tr.r_recv;
+  sm.hop_count = sender_hops + 1;
+  sm.received_at = now_;
+  receiver.buffer.insert(sm);
+  sender.router->on_transfer_success(tr.msg, tr.to, tr.r_recv, false);
+  receiver.router->on_message_received(*receiver.buffer.find(tr.msg.id), tr.from);
+}
+
+void World::generate_traffic() {
+  if (!traffic_) return;
+  while (traffic_->next_time() <= now_) {
+    const Message m = traffic_->pop(next_msg_id_++);
+    inject_message(m);
+  }
+}
+
+void World::sweep_expired() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Buffer& buf = nodes_[i].buffer;
+    for (const MsgId id : buf.expired_ids(now_)) {
+      buf.erase(id);
+      metrics_.on_expired();
+    }
+  }
+}
+
+}  // namespace dtn::sim

@@ -1,0 +1,45 @@
+// Tiny command-line / environment flag parser shared by examples and
+// benchmark binaries. Supports `--name=value`, `--name value` and boolean
+// `--name` forms; unknown flags are kept so google-benchmark's own flags
+// pass through untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dtn::util {
+
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parses argv. Flags consumed here are removed from the returned
+  /// remainder so the caller can forward leftovers to other parsers.
+  static Flags parse(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in original order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  void set(const std::string& name, const std::string& value) { values_[name] = value; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an environment variable as an integer with fallback (used for
+/// DTN_BENCH_SEEDS / DTN_BENCH_FULL scaling knobs).
+std::int64_t env_int(const char* name, std::int64_t fallback);
+std::optional<std::string> env_string(const char* name);
+
+}  // namespace dtn::util

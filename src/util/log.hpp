@@ -1,0 +1,53 @@
+// Leveled logging with negligible cost when disabled. Simulation kernels
+// log at kDebug only inside `#ifndef NDEBUG` blocks or behind level checks,
+// so release benchmark runs pay a single branch per call site.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dtn::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Thread-safe sink write (single global mutex; logging is not on the
+/// simulation hot path).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace dtn::util
+
+#define DTN_LOG(level)                                    \
+  if (static_cast<int>(level) < static_cast<int>(::dtn::util::log_level())) { \
+  } else                                                  \
+    ::dtn::util::detail::LogLine(level)
+
+#define DTN_LOG_DEBUG DTN_LOG(::dtn::util::LogLevel::kDebug)
+#define DTN_LOG_INFO DTN_LOG(::dtn::util::LogLevel::kInfo)
+#define DTN_LOG_WARN DTN_LOG(::dtn::util::LogLevel::kWarn)
+#define DTN_LOG_ERROR DTN_LOG(::dtn::util::LogLevel::kError)

@@ -1,0 +1,64 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace dtn::util {
+
+double Pcg32::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Pcg32::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return lo + static_cast<std::int64_t>(next_u64());
+  // Unbiased rejection sampling (Lemire-style threshold on 64-bit draws).
+  const std::uint64_t threshold = (0 - range) % range;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+  }
+}
+
+double Pcg32::exponential(double mean) noexcept {
+  // Inverse CDF; guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(1.0 - u);
+}
+
+double Pcg32::normal(double mu, double sigma) noexcept {
+  // Box-Muller, discarding the second variate so each call consumes a fixed
+  // amount of the stream (keeps derived streams reproducible under reorder).
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return mu + sigma * r * std::cos(kTwoPi * u2);
+}
+
+bool Pcg32::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Pcg32 derive_stream(std::uint64_t scenario_seed, std::uint64_t entity_id,
+                    StreamPurpose purpose) noexcept {
+  SplitMix64 mixer(scenario_seed ^ (entity_id * 0x9e3779b97f4a7c15ULL) ^
+                   (static_cast<std::uint64_t>(purpose) << 48));
+  const std::uint64_t state = mixer.next();
+  const std::uint64_t stream = mixer.next();
+  return Pcg32(state, stream);
+}
+
+std::uint64_t hash_label(std::string_view label) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace dtn::util

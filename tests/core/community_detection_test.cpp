@@ -1,0 +1,153 @@
+#include "core/community_detection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtn::core {
+namespace {
+
+TEST(ContactCountGraph, RecordsSymmetrically) {
+  ContactCountGraph g(4);
+  g.record(0, 1);
+  g.record(1, 0);
+  g.record(0, 1, 3);
+  EXPECT_EQ(g.count(0, 1), 5);
+  EXPECT_EQ(g.count(1, 0), 5);
+  EXPECT_EQ(g.count(2, 3), 0);
+}
+
+TEST(ContactCountGraph, SelfContactsIgnored) {
+  ContactCountGraph g(3);
+  g.record(1, 1, 10);
+  EXPECT_EQ(g.count(1, 1), 0);
+}
+
+TEST(DetectCommunities, TwoCliquesSeparate) {
+  // Nodes {0,1,2} tightly connected, {3,4} tightly connected, weak bridge.
+  ContactCountGraph g(5);
+  for (const auto& [a, b] : {std::pair{0, 1}, {0, 2}, {1, 2}, {3, 4}}) {
+    g.record(a, b, 10);
+  }
+  g.record(2, 3, 1);  // below threshold
+  DetectionParams params;
+  params.familiar_threshold = 3;
+  const CommunityTable table = detect_communities(g, params);
+  EXPECT_EQ(table.community_count(), 2);
+  EXPECT_TRUE(table.same_community(0, 1));
+  EXPECT_TRUE(table.same_community(0, 2));
+  EXPECT_TRUE(table.same_community(3, 4));
+  EXPECT_FALSE(table.same_community(2, 3));
+}
+
+TEST(DetectCommunities, StrongBridgeMerges) {
+  ContactCountGraph g(4);
+  g.record(0, 1, 10);
+  g.record(2, 3, 10);
+  g.record(1, 2, 10);  // strong bridge: all one community
+  const CommunityTable table = detect_communities(g, DetectionParams{3, 0.5});
+  EXPECT_EQ(table.community_count(), 1);
+}
+
+TEST(DetectCommunities, IsolatedNodesAreSingletons) {
+  ContactCountGraph g(3);
+  g.record(0, 1, 10);
+  const CommunityTable table = detect_communities(g, DetectionParams{3, 0.5});
+  EXPECT_EQ(table.community_count(), 2);
+  EXPECT_TRUE(table.same_community(0, 1));
+  EXPECT_FALSE(table.same_community(0, 2));
+  EXPECT_EQ(table.members(table.community_of(2)).size(), 1u);
+}
+
+TEST(DetectCommunities, DenseCommunityIds) {
+  ContactCountGraph g(6);
+  g.record(4, 5, 10);
+  const CommunityTable table = detect_communities(g, DetectionParams{3, 0.5});
+  // Ids must be dense 0..k-1 regardless of which nodes are grouped.
+  for (int v = 0; v < 6; ++v) {
+    EXPECT_GE(table.community_of(v), 0);
+    EXPECT_LT(table.community_of(v), table.community_count());
+  }
+}
+
+TEST(CommunityDetector, FamiliarAfterThresholdContacts) {
+  CommunityDetector d(0, DetectionParams{3, 0.5});
+  d.record_contact(1);
+  d.record_contact(1);
+  EXPECT_FALSE(d.is_familiar(1));
+  d.record_contact(1);
+  EXPECT_TRUE(d.is_familiar(1));
+  EXPECT_TRUE(d.local_community().count(1) > 0);
+}
+
+TEST(CommunityDetector, CommunityAlwaysContainsSelf) {
+  const CommunityDetector d(7, DetectionParams{});
+  EXPECT_TRUE(d.local_community().count(7) > 0);
+}
+
+TEST(CommunityDetector, SimpleAdmissionRule) {
+  DetectionParams params{2, 0.5};
+  CommunityDetector a(0, params);
+  CommunityDetector b(1, params);
+  // Both become familiar with node 2 (shared friend).
+  for (int k = 0; k < 2; ++k) {
+    a.record_contact(2);
+    b.record_contact(2);
+  }
+  // b's familiar set = {2}; a's community = {0, 2}: overlap 1/1 > 0.5 ->
+  // admit b into a's community and absorb b's community {1, 2}.
+  a.merge_on_contact(b);
+  EXPECT_TRUE(a.local_community().count(1) > 0);
+  EXPECT_TRUE(a.local_community().count(2) > 0);
+}
+
+TEST(CommunityDetector, NoAdmissionWithoutOverlap) {
+  DetectionParams params{2, 0.5};
+  CommunityDetector a(0, params);
+  CommunityDetector b(1, params);
+  for (int k = 0; k < 2; ++k) {
+    a.record_contact(2);
+    b.record_contact(3);  // disjoint familiar sets
+  }
+  a.merge_on_contact(b);
+  EXPECT_FALSE(a.local_community().count(1) > 0);
+}
+
+TEST(CommunityDetector, OnlineAgreesWithOfflineOnSeparatedGroups) {
+  // Two groups meeting internally many times; detectors run pairwise.
+  DetectionParams params{3, 0.5};
+  std::vector<CommunityDetector> detectors;
+  for (NodeIdx v = 0; v < 6; ++v) detectors.emplace_back(v, params);
+  ContactCountGraph graph(6);
+  auto meet = [&](NodeIdx a, NodeIdx b) {
+    detectors[static_cast<std::size_t>(a)].record_contact(b);
+    detectors[static_cast<std::size_t>(b)].record_contact(a);
+    detectors[static_cast<std::size_t>(a)].merge_on_contact(
+        detectors[static_cast<std::size_t>(b)]);
+    detectors[static_cast<std::size_t>(b)].merge_on_contact(
+        detectors[static_cast<std::size_t>(a)]);
+    graph.record(a, b);
+  };
+  for (int round = 0; round < 5; ++round) {
+    meet(0, 1);
+    meet(1, 2);
+    meet(0, 2);
+    meet(3, 4);
+    meet(4, 5);
+    meet(3, 5);
+  }
+  const CommunityTable offline = detect_communities(graph, params);
+  EXPECT_EQ(offline.community_count(), 2);
+  // Online local communities match the offline components.
+  for (NodeIdx v = 0; v < 3; ++v) {
+    EXPECT_EQ(detectors[static_cast<std::size_t>(v)].local_community(),
+              (std::set<NodeIdx>{0, 1, 2}))
+        << "node " << v;
+  }
+  for (NodeIdx v = 3; v < 6; ++v) {
+    EXPECT_EQ(detectors[static_cast<std::size_t>(v)].local_community(),
+              (std::set<NodeIdx>{3, 4, 5}))
+        << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace dtn::core

@@ -1,0 +1,63 @@
+#include "core/community.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtn::core {
+namespace {
+
+TEST(CommunityTable, BasicMembership) {
+  const CommunityTable t({0, 1, 0, 2, 1});
+  EXPECT_EQ(t.node_count(), 5);
+  EXPECT_EQ(t.community_count(), 3);
+  EXPECT_EQ(t.community_of(0), 0);
+  EXPECT_EQ(t.community_of(3), 2);
+  EXPECT_EQ(t.members(0), (std::vector<NodeIdx>{0, 2}));
+  EXPECT_EQ(t.members(1), (std::vector<NodeIdx>{1, 4}));
+  EXPECT_EQ(t.members(2), (std::vector<NodeIdx>{3}));
+}
+
+TEST(CommunityTable, SameCommunity) {
+  const CommunityTable t({0, 1, 0});
+  EXPECT_TRUE(t.same_community(0, 2));
+  EXPECT_FALSE(t.same_community(0, 1));
+  EXPECT_TRUE(t.same_community(1, 1));
+}
+
+TEST(CommunityTable, RejectsNegativeIds) {
+  EXPECT_THROW(CommunityTable({0, -1}), std::invalid_argument);
+}
+
+TEST(CommunityTable, EmptyTable) {
+  const CommunityTable t{std::vector<int>{}};
+  EXPECT_EQ(t.node_count(), 0);
+  EXPECT_EQ(t.community_count(), 0);
+}
+
+TEST(CommunityTable, SingleCommunity) {
+  const CommunityTable t({0, 0, 0});
+  EXPECT_EQ(t.community_count(), 1);
+  EXPECT_EQ(t.members(0).size(), 3u);
+}
+
+TEST(CommunityTable, MembersPartitionNodes) {
+  const CommunityTable t({2, 0, 1, 2, 1, 0, 0});
+  std::size_t total = 0;
+  for (int c = 0; c < t.community_count(); ++c) {
+    for (const NodeIdx v : t.members(c)) {
+      EXPECT_EQ(t.community_of(v), c);
+    }
+    total += t.members(c).size();
+  }
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(CommunityTable, OutOfRangeAccessThrows) {
+  const CommunityTable t({0, 1});
+  EXPECT_THROW((void)t.community_of(5), std::out_of_range);
+  EXPECT_THROW((void)t.members(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dtn::core

@@ -1,0 +1,143 @@
+#include "core/dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dtn::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> matrix(NodeIdx n, std::initializer_list<std::tuple<int, int, double>> edges,
+                           bool symmetric = true) {
+  std::vector<double> m(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), kInf);
+  for (NodeIdx i = 0; i < n; ++i) m[static_cast<std::size_t>(i) * n + i] = 0.0;
+  for (const auto& [a, b, w] : edges) {
+    m[static_cast<std::size_t>(a) * n + b] = w;
+    if (symmetric) m[static_cast<std::size_t>(b) * n + a] = w;
+  }
+  return m;
+}
+
+TEST(Dijkstra, TrivialSelfDistance) {
+  const auto m = matrix(2, {{0, 1, 5.0}});
+  const auto r = dijkstra_dense(m, 2, 0);
+  EXPECT_DOUBLE_EQ(r.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 5.0);
+}
+
+TEST(Dijkstra, PrefersMultiHopWhenCheaper) {
+  // 0-1 = 10 direct; 0-2-1 = 3 + 4 = 7.
+  const auto m = matrix(3, {{0, 1, 10.0}, {0, 2, 3.0}, {2, 1, 4.0}});
+  const auto r = dijkstra_dense(m, 3, 0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 7.0);
+  EXPECT_EQ(extract_path(r, 0, 1), (std::vector<NodeIdx>{0, 2, 1}));
+}
+
+TEST(Dijkstra, UnreachableStaysInfinite) {
+  const auto m = matrix(3, {{0, 1, 1.0}});
+  const auto r = dijkstra_dense(m, 3, 0);
+  EXPECT_TRUE(std::isinf(r.dist[2]));
+  EXPECT_FALSE(r.reachable(2));
+  EXPECT_TRUE(extract_path(r, 0, 2).empty());
+}
+
+TEST(Dijkstra, AsymmetricEdges) {
+  // Directed: 0->1 cheap, 1->0 expensive.
+  auto m = matrix(2, {}, false);
+  m[0 * 2 + 1] = 1.0;
+  m[1 * 2 + 0] = 100.0;
+  const auto fwd = dijkstra_dense(m, 2, 0);
+  const auto bwd = dijkstra_dense(m, 2, 1);
+  EXPECT_DOUBLE_EQ(fwd.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(bwd.dist[0], 100.0);
+}
+
+TEST(Dijkstra, NegativeWeightsClampedToZero) {
+  auto m = matrix(2, {{0, 1, -5.0}});
+  const auto r = dijkstra_dense(m, 2, 0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 0.0);
+}
+
+TEST(Dijkstra, PathExtractionEndpoints) {
+  const auto m = matrix(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  const auto r = dijkstra_dense(m, 4, 0);
+  EXPECT_EQ(extract_path(r, 0, 0), (std::vector<NodeIdx>{0}));
+  EXPECT_EQ(extract_path(r, 0, 3), (std::vector<NodeIdx>{0, 1, 2, 3}));
+}
+
+// Floyd-Warshall reference for the property test.
+std::vector<double> floyd_warshall(std::vector<double> m, NodeIdx n) {
+  for (NodeIdx k = 0; k < n; ++k) {
+    for (NodeIdx i = 0; i < n; ++i) {
+      for (NodeIdx j = 0; j < n; ++j) {
+        const double via = m[static_cast<std::size_t>(i) * n + k] +
+                           m[static_cast<std::size_t>(k) * n + j];
+        double& cur = m[static_cast<std::size_t>(i) * n + j];
+        if (via < cur) cur = via;
+      }
+    }
+  }
+  return m;
+}
+
+class DijkstraRandomGraphTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraRandomGraphTest, MatchesFloydWarshall) {
+  const NodeIdx n = static_cast<NodeIdx>(GetParam());
+  util::Pcg32 rng(55, static_cast<std::uint64_t>(n));
+  std::vector<double> m(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), kInf);
+  for (NodeIdx i = 0; i < n; ++i) {
+    m[static_cast<std::size_t>(i) * n + i] = 0.0;
+    for (NodeIdx j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.35)) {
+        m[static_cast<std::size_t>(i) * n + j] = rng.uniform(1.0, 100.0);
+      }
+    }
+  }
+  const auto reference = floyd_warshall(m, n);
+  for (NodeIdx src = 0; src < n; ++src) {
+    const auto r = dijkstra_dense(m, n, src);
+    for (NodeIdx v = 0; v < n; ++v) {
+      const double expected = reference[static_cast<std::size_t>(src) * n + v];
+      if (std::isinf(expected)) {
+        EXPECT_TRUE(std::isinf(r.dist[static_cast<std::size_t>(v)]));
+      } else {
+        EXPECT_NEAR(r.dist[static_cast<std::size_t>(v)], expected, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DijkstraRandomGraphTest, ::testing::Values(4, 8, 16, 32));
+
+TEST(Dijkstra, PathCostsMatchDistances) {
+  const NodeIdx n = 12;
+  util::Pcg32 rng(99, 1);
+  std::vector<double> m(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), kInf);
+  for (NodeIdx i = 0; i < n; ++i) {
+    m[static_cast<std::size_t>(i) * n + i] = 0.0;
+    for (NodeIdx j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.5)) {
+        m[static_cast<std::size_t>(i) * n + j] = rng.uniform(1.0, 50.0);
+      }
+    }
+  }
+  const auto r = dijkstra_dense(m, n, 0);
+  for (NodeIdx v = 1; v < n; ++v) {
+    const auto path = extract_path(r, 0, v);
+    if (path.empty()) continue;
+    double cost = 0.0;
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      cost += m[static_cast<std::size_t>(path[k]) * n + path[k + 1]];
+    }
+    EXPECT_NEAR(cost, r.dist[static_cast<std::size_t>(v)], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dtn::core

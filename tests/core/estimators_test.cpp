@@ -1,0 +1,295 @@
+// Tests for Theorems 1, 2 and 4 plus the documented edge-case fallbacks.
+#include "core/estimators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dtn::core {
+namespace {
+
+// ---------- Theorem 1: conditional meeting probability ----------
+
+TEST(CondProbability, PaperDefinitionOnKnownWindow) {
+  // Window {10, 20, 30, 40}, elapsed 15: M = {20,30,40} (m=3).
+  // tau = 20 -> M_tau = {20, 30} (intervals <= 35), so P = 2/3.
+  const std::vector<double> w{10, 20, 30, 40};
+  EXPECT_NEAR(conditional_meet_probability(w, 15.0, 20.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CondProbability, CountsMatchDefinition) {
+  const std::vector<double> w{10, 20, 30, 40};
+  const CondCounts c = conditional_counts(w, 15.0, 20.0);
+  EXPECT_EQ(c.m, 3);
+  EXPECT_EQ(c.m_tau, 2);
+}
+
+TEST(CondProbability, ZeroWhenTauCoversNothing) {
+  const std::vector<double> w{100, 200};
+  EXPECT_DOUBLE_EQ(conditional_meet_probability(w, 0.0, 50.0), 0.0);
+}
+
+TEST(CondProbability, OneWhenTauCoversAll) {
+  const std::vector<double> w{10, 20, 30};
+  EXPECT_DOUBLE_EQ(conditional_meet_probability(w, 0.0, 1000.0), 1.0);
+}
+
+TEST(CondProbability, EmptyWindowIsZero) {
+  EXPECT_DOUBLE_EQ(conditional_meet_probability({}, 0.0, 100.0), 0.0);
+}
+
+TEST(CondProbability, NonPositiveTauIsZero) {
+  const std::vector<double> w{10, 20};
+  EXPECT_DOUBLE_EQ(conditional_meet_probability(w, 5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(conditional_meet_probability(w, 5.0, -1.0), 0.0);
+}
+
+TEST(CondProbability, OverdueFallbackUsesUnconditional) {
+  // elapsed 50 exceeds every interval: fallback = fraction <= tau.
+  const std::vector<double> w{10, 20, 30, 40};
+  EXPECT_NEAR(conditional_meet_probability(w, 50.0, 25.0), 0.5, 1e-12);
+  EXPECT_NEAR(conditional_meet_probability(w, 50.0, 5.0), 0.0, 1e-12);
+  EXPECT_NEAR(conditional_meet_probability(w, 50.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(CondProbability, SortedVariantMatchesLinear) {
+  util::Pcg32 rng(1234, 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> w;
+    const int n = static_cast<int>(rng.uniform_int(1, 24));
+    for (int i = 0; i < n; ++i) w.push_back(rng.uniform(1.0, 500.0));
+    std::vector<double> sorted = w;
+    std::sort(sorted.begin(), sorted.end());
+    const double elapsed = rng.uniform(0.0, 600.0);
+    const double tau = rng.uniform(0.0, 600.0);
+    EXPECT_NEAR(conditional_meet_probability(w, elapsed, tau),
+                conditional_meet_probability_sorted(sorted, elapsed, tau), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+class CondProbabilityPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CondProbabilityPropertyTest, InUnitIntervalAndMonotoneInTau) {
+  const auto [elapsed, tau] = GetParam();
+  const std::vector<double> w{5, 17, 40, 40, 90, 120, 300};
+  const double p = conditional_meet_probability(w, elapsed, tau);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  // Monotone non-decreasing in tau.
+  const double p2 = conditional_meet_probability(w, elapsed, tau + 25.0);
+  EXPECT_GE(p2, p - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CondProbabilityPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 10.0, 45.0, 150.0, 500.0),
+                       ::testing::Values(1.0, 30.0, 100.0, 400.0)));
+
+// ---------- Theorem 2: expected meeting delay ----------
+
+TEST(Emd, PaperExamplePeriodicContacts) {
+  // Periodic meetings every 100 s; at elapsed 50 the expected residual
+  // delay is 50 (the paper's Sec. III-B1 motivating example).
+  const std::vector<double> w{100, 100, 100, 100};
+  EXPECT_NEAR(expected_meeting_delay(w, 50.0), 50.0, 1e-12);
+}
+
+TEST(Emd, ZeroElapsedGivesMeanOfWindow) {
+  const std::vector<double> w{10, 20, 30};
+  EXPECT_NEAR(expected_meeting_delay(w, 0.0), 20.0, 1e-12);
+}
+
+TEST(Emd, ConditionsOnSurvivingIntervals) {
+  // elapsed 25: only {30, 40} survive; EMD = 35 - 25 = 10.
+  const std::vector<double> w{10, 20, 30, 40};
+  EXPECT_NEAR(expected_meeting_delay(w, 25.0), 10.0, 1e-12);
+}
+
+TEST(Emd, EmptyWindowIsInfinite) {
+  EXPECT_TRUE(std::isinf(expected_meeting_delay({}, 0.0)));
+}
+
+TEST(Emd, OverdueFallbackIsUnconditionalMean) {
+  const std::vector<double> w{10, 20, 30};
+  EXPECT_NEAR(expected_meeting_delay(w, 100.0), 20.0, 1e-12);
+}
+
+TEST(Emd, NeverNegative) {
+  util::Pcg32 rng(77, 3);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<double> w;
+    const int n = static_cast<int>(rng.uniform_int(1, 16));
+    for (int i = 0; i < n; ++i) w.push_back(rng.uniform(0.1, 400.0));
+    const double elapsed = rng.uniform(0.0, 800.0);
+    EXPECT_GE(expected_meeting_delay(w, elapsed), 0.0);
+  }
+}
+
+TEST(Emd, DecreasesAsElapsedGrowsWithinPeriodicWindow) {
+  const std::vector<double> w{100, 100, 100};
+  double prev = expected_meeting_delay(w, 0.0);
+  for (double e = 10.0; e < 100.0; e += 10.0) {
+    const double cur = expected_meeting_delay(w, e);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+// ---------- Theorem 1 summation over peers (EEV) ----------
+
+ContactHistory make_history(std::initializer_list<std::pair<int, std::vector<double>>>
+                                peers_and_times) {
+  ContactHistory h(32);
+  for (const auto& [peer, times] : peers_and_times) {
+    for (const double t : times) h.record_contact(peer, t);
+  }
+  return h;
+}
+
+TEST(Eev, SumsPerPeerProbabilities) {
+  // Peer 1: contacts at 0,100,200 -> intervals {100,100}, t0=200.
+  // Peer 2: contacts at 0,50,100  -> intervals {50,50},   t0=100.
+  const ContactHistory h =
+      make_history({{1, {0, 100, 200}}, {2, {0, 50, 100}}});
+  // At t=200, tau=120: peer1 elapsed 0 -> P=1 (both intervals <=120);
+  // peer2 elapsed 100 -> overdue (both intervals <= 100 are not > 100)...
+  // intervals {50,50}, elapsed=100: none > 100 -> fallback: both <= 120 -> 1.
+  const double eev = expected_encounter_value(h, 200.0, 120.0);
+  EXPECT_NEAR(eev, 2.0, 1e-12);
+}
+
+TEST(Eev, BoundedByPeerCount) {
+  util::Pcg32 rng(5, 9);
+  ContactHistory h(16);
+  for (int peer = 1; peer <= 10; ++peer) {
+    double t = 0.0;
+    for (int k = 0; k < 8; ++k) {
+      t += rng.uniform(1.0, 100.0);
+      h.record_contact(peer, t);
+    }
+  }
+  for (const double tau : {1.0, 50.0, 500.0, 5000.0}) {
+    const double eev = expected_encounter_value(h, 400.0, tau);
+    EXPECT_GE(eev, 0.0);
+    EXPECT_LE(eev, 10.0);
+  }
+}
+
+TEST(Eev, EmptyHistoryIsZero) {
+  const ContactHistory h(8);
+  EXPECT_DOUBLE_EQ(expected_encounter_value(h, 100.0, 100.0), 0.0);
+}
+
+TEST(Eev, MonotoneInTau) {
+  const ContactHistory h =
+      make_history({{1, {0, 30, 90, 180}}, {2, {0, 70, 140}}, {3, {0, 400}}});
+  double prev = 0.0;
+  for (const double tau : {10.0, 50.0, 100.0, 200.0, 500.0}) {
+    const double eev = expected_encounter_value(h, 180.0, tau);
+    EXPECT_GE(eev, prev - 1e-12);
+    prev = eev;
+  }
+}
+
+TEST(EevIntra, RestrictsToOwnCommunity) {
+  const CommunityTable table({0, 0, 1, 1});  // nodes 0,1 in c0; 2,3 in c1
+  ContactHistory h(8);
+  for (const int peer : {1, 2, 3}) {
+    h.record_contact(peer, 0.0);
+    h.record_contact(peer, 100.0);
+    h.record_contact(peer, 200.0);
+  }
+  const double full = expected_encounter_value(h, 200.0, 150.0);
+  const double intra = expected_encounter_value_intra(h, table, 0, 200.0, 150.0);
+  EXPECT_NEAR(full, 3.0, 1e-12);
+  EXPECT_NEAR(intra, 1.0, 1e-12);  // only peer 1 shares community 0
+}
+
+// ---------- Theorem 4: ENEC ----------
+
+TEST(Enec, SingleForeignMemberEqualsPairProbability) {
+  const CommunityTable table({0, 1});
+  ContactHistory h(8);
+  h.record_contact(1, 0.0);
+  h.record_contact(1, 100.0);
+  h.record_contact(1, 200.0);  // intervals {100,100}, t0=200
+  const double p =
+      conditional_meet_probability(std::vector<double>{100, 100}, 0.0, 50.0);
+  const double enec = expected_encountering_communities(h, table, 0, 200.0, 50.0);
+  EXPECT_NEAR(enec, p, 1e-12);
+}
+
+TEST(Enec, ComplementProductAcrossMembers) {
+  // Community 1 = {1, 2}; node meets both with known probabilities.
+  const CommunityTable table({0, 1, 1});
+  ContactHistory h(8);
+  // Peer 1: intervals {100}, elapsed 0, tau 100 -> P = 1.
+  h.record_contact(1, 100.0);
+  h.record_contact(1, 200.0);
+  // Peer 2: intervals {50, 150}, elapsed 0 at t=200 requires t0=200.
+  h.record_contact(2, 0.0);
+  h.record_contact(2, 50.0);
+  h.record_contact(2, 200.0);
+  // tau=100 at t=200: peer1 P = 1 -> community probability = 1 regardless.
+  const double enec = expected_encountering_communities(h, table, 0, 200.0, 100.0);
+  EXPECT_NEAR(enec, 1.0, 1e-12);
+}
+
+TEST(Enec, ExcludesOwnCommunity) {
+  const CommunityTable table({0, 0, 1});
+  ContactHistory h(8);
+  // Only contacts with same-community peer 1.
+  h.record_contact(1, 0.0);
+  h.record_contact(1, 10.0);
+  h.record_contact(1, 20.0);
+  EXPECT_DOUBLE_EQ(expected_encountering_communities(h, table, 0, 20.0, 100.0), 0.0);
+}
+
+TEST(Enec, BoundedByForeignCommunityCount) {
+  const CommunityTable table({0, 1, 1, 2, 2, 3});
+  util::Pcg32 rng(31, 7);
+  ContactHistory h(16);
+  for (int peer = 1; peer <= 5; ++peer) {
+    double t = 0.0;
+    for (int k = 0; k < 6; ++k) {
+      t += rng.uniform(1.0, 60.0);
+      h.record_contact(peer, t);
+    }
+  }
+  for (const double tau : {5.0, 50.0, 500.0}) {
+    const double enec = expected_encountering_communities(h, table, 0, 300.0, tau);
+    EXPECT_GE(enec, 0.0);
+    EXPECT_LE(enec, 3.0);  // communities 1, 2, 3
+  }
+}
+
+TEST(CommunityProbability, NeverMetCommunityIsZero) {
+  const CommunityTable table({0, 1, 1});
+  const ContactHistory h(8);
+  EXPECT_DOUBLE_EQ(community_meet_probability(h, table, 1, 100.0, 100.0), 0.0);
+}
+
+TEST(CommunityProbability, AtLeastMaxMemberProbability) {
+  const CommunityTable table({0, 1, 1});
+  ContactHistory h(8);
+  h.record_contact(1, 0.0);
+  h.record_contact(1, 40.0);
+  h.record_contact(1, 80.0);
+  h.record_contact(2, 0.0);
+  h.record_contact(2, 100.0);
+  const double t = 80.0;
+  const double tau = 60.0;
+  const double p1 = conditional_meet_probability(std::vector<double>{40, 40},
+                                                 t - 80.0, tau);
+  const double pc = community_meet_probability(h, table, 1, t, tau);
+  EXPECT_GE(pc, p1 - 1e-12);
+  EXPECT_LE(pc, 1.0);
+}
+
+}  // namespace
+}  // namespace dtn::core

@@ -1,0 +1,123 @@
+#include "core/md_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimators.hpp"
+
+namespace dtn::core {
+namespace {
+
+TEST(MdBuilder, OwnRowUsesTheorem2ForeignRowsUseMi) {
+  const NodeIdx n = 3;
+  MiMatrix mi(n);
+  mi.set_entry(1, 2, 77.0, 1.0);
+  mi.set_entry(0, 1, 500.0, 1.0);  // will be overridden by Theorem 2 row
+
+  ContactHistory h(8);
+  h.record_contact(1, 0.0);
+  h.record_contact(1, 100.0);  // interval {100}, t0 = 100
+
+  // At t = 130 (elapsed 30): EMD = 100 - 30 = 70 for own row entry (0,1).
+  const auto md = build_md(mi, h, 0, 130.0);
+  EXPECT_NEAR(md[0 * n + 1], 70.0, 1e-12);
+  EXPECT_DOUBLE_EQ(md[1 * n + 2], 77.0);
+  EXPECT_TRUE(std::isinf(md[0 * n + 2]));  // never met node 2
+  EXPECT_DOUBLE_EQ(md[0 * n + 0], 0.0);
+  EXPECT_DOUBLE_EQ(md[2 * n + 2], 0.0);
+}
+
+TEST(MdBuilder, MemdUsesTwoHopPathWhenCheaper) {
+  const NodeIdx n = 3;
+  MiMatrix mi(n);
+  mi.set_entry(1, 2, 10.0, 1.0);  // relay 1 meets destination 2 often
+
+  ContactHistory h(8);
+  // Own history: meet node 1 every 20 s; node 2 every 1000 s.
+  h.record_contact(1, 0.0);
+  h.record_contact(1, 20.0);
+  h.record_contact(2, 0.0);
+  h.record_contact(2, 1000.0);
+
+  const auto md = build_md(mi, h, 0, 1000.0);
+  const auto r = dijkstra_dense(md, n, 0);
+  // Via node 1: EMD(0,1) + I(1,2) = 20 + 10 = 30 beats direct 1000.
+  EXPECT_NEAR(r.dist[2], 30.0, 1e-9);
+}
+
+TEST(MdBuilder, IntraSubIndexRestrictsToMembers) {
+  const CommunityTable table({0, 0, 0, 1});  // community 0 = {0,1,2}
+  MiMatrix mi(4);
+  mi.set_entry(1, 2, 40.0, 1.0);
+  mi.set_entry(1, 3, 5.0, 1.0);  // edge to outsider 3 must not appear
+
+  ContactHistory h(8);
+  h.record_contact(1, 0.0);
+  h.record_contact(1, 30.0);
+
+  const auto md = build_md_intra(mi, h, table, 0, 0, 30.0);
+  const auto m = static_cast<NodeIdx>(table.members(0).size());
+  ASSERT_EQ(m, 3);
+  // Sub-index order is {0,1,2}. Own row entry (0 -> 1) from Theorem 2:
+  // interval {30}, elapsed 0 -> 30.
+  EXPECT_NEAR(md[0 * m + 1], 30.0, 1e-12);
+  EXPECT_DOUBLE_EQ(md[1 * m + 2], 40.0);
+  // No path can use node 3; matrix simply has no such index.
+  EXPECT_EQ(md.size(), static_cast<std::size_t>(m) * static_cast<std::size_t>(m));
+}
+
+TEST(MemdCache, ReturnsSameAsDirectComputation) {
+  const NodeIdx n = 4;
+  MiMatrix mi(n);
+  mi.set_entry(1, 2, 15.0, 1.0);
+  mi.set_entry(2, 3, 25.0, 1.0);
+  ContactHistory h(8);
+  h.record_contact(1, 0.0);
+  h.record_contact(1, 10.0);
+
+  MemdCache cache;
+  const double via_cache = cache.memd(mi, h, 0, 3, 10.0);
+  const auto md = build_md(mi, h, 0, 10.0);
+  const auto direct = dijkstra_dense(md, n, 0);
+  EXPECT_NEAR(via_cache, direct.dist[3], 1e-12);
+}
+
+TEST(MemdCache, InvalidatesOnMiChange) {
+  const NodeIdx n = 3;
+  MiMatrix mi(n);
+  ContactHistory h(8);
+  h.record_contact(1, 0.0);
+  h.record_contact(1, 10.0);
+
+  MemdCache cache;
+  const double before = cache.memd(mi, h, 0, 2, 10.0);
+  EXPECT_TRUE(std::isinf(before));
+  mi.set_entry(1, 2, 5.0, 11.0);  // now 0 -> 1 -> 2 exists
+  const double after = cache.memd(mi, h, 0, 2, 10.0);
+  EXPECT_FALSE(std::isinf(after));
+}
+
+TEST(MemdCache, InvalidatesWhenTimeBucketAdvances) {
+  const NodeIdx n = 2;
+  MiMatrix mi(n);
+  ContactHistory h(8);
+  h.record_contact(1, 0.0);
+  h.record_contact(1, 100.0);  // interval {100}, t0=100
+
+  MemdCache cache(1.0);
+  const double at_100 = cache.memd(mi, h, 0, 1, 100.0);
+  const double at_150 = cache.memd(mi, h, 0, 1, 150.0);
+  EXPECT_NEAR(at_100, 100.0, 1e-9);
+  EXPECT_NEAR(at_150, 50.0, 1e-9);  // Theorem 2: elapsed time subtracts
+}
+
+TEST(MemdCache, SelfDistanceZero) {
+  MiMatrix mi(3);
+  ContactHistory h(8);
+  MemdCache cache;
+  EXPECT_DOUBLE_EQ(cache.memd(mi, h, 1, 1, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dtn::core

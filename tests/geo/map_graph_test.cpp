@@ -1,0 +1,114 @@
+#include "geo/map_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtn::geo {
+namespace {
+
+MapGraph square_graph() {
+  // 0 -(1)- 1
+  // |       |
+  // 3 -(1)- 2   plus a diagonal 0-2 of length sqrt(2)
+  MapGraph g;
+  g.add_node({0, 0});
+  g.add_node({1, 0});
+  g.add_node({1, 1});
+  g.add_node({0, 1});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.add_edge(0, 2);
+  return g;
+}
+
+TEST(MapGraph, AddNodesAndEdges) {
+  const MapGraph g = square_graph();
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.position(2), (Vec2{1, 1}));
+}
+
+TEST(MapGraph, DuplicateAndSelfEdgesIgnored) {
+  MapGraph g;
+  g.add_node({0, 0});
+  g.add_node({1, 0});
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+}
+
+TEST(MapGraph, NearestNode) {
+  const MapGraph g = square_graph();
+  EXPECT_EQ(g.nearest_node({0.1, 0.1}), 0);
+  EXPECT_EQ(g.nearest_node({0.9, 0.95}), 2);
+}
+
+TEST(MapGraph, ShortestPathPrefersDiagonal) {
+  const MapGraph g = square_graph();
+  // 0 -> 2 direct diagonal (sqrt(2) ~ 1.41) beats 0-1-2 (2.0).
+  const auto path = g.shortest_path(0, 2);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(MapGraph, ShortestPathMultiHop) {
+  MapGraph g;
+  g.add_node({0, 0});
+  g.add_node({1, 0});
+  g.add_node({2, 0});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.shortest_path(0, 2), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(MapGraph, ShortestPathToSelf) {
+  const MapGraph g = square_graph();
+  EXPECT_EQ(g.shortest_path(1, 1), (std::vector<NodeId>{1}));
+}
+
+TEST(MapGraph, ShortestPathUnreachable) {
+  MapGraph g;
+  g.add_node({0, 0});
+  g.add_node({10, 0});
+  EXPECT_TRUE(g.shortest_path(0, 1).empty());
+}
+
+TEST(MapGraph, ShortestPathInvalidIds) {
+  const MapGraph g = square_graph();
+  EXPECT_TRUE(g.shortest_path(-1, 2).empty());
+  EXPECT_TRUE(g.shortest_path(0, 99).empty());
+}
+
+TEST(MapGraph, Connectivity) {
+  MapGraph g = square_graph();
+  EXPECT_TRUE(g.connected());
+  g.add_node({50, 50});  // isolated
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(MapGraph, EmptyGraphIsConnected) {
+  const MapGraph g;
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(MapGraph, WalkToPolyline) {
+  const MapGraph g = square_graph();
+  const Polyline line = g.walk_to_polyline({0, 1, 2}, /*closed=*/false);
+  EXPECT_EQ(line.size(), 3u);
+  EXPECT_DOUBLE_EQ(line.total_length(), 2.0);
+  const Polyline loop = g.walk_to_polyline({0, 1, 2, 3}, /*closed=*/true);
+  EXPECT_DOUBLE_EQ(loop.total_length(), 4.0);
+}
+
+TEST(MapGraph, Bounds) {
+  const MapGraph g = square_graph();
+  const auto [lo, hi] = g.bounds();
+  EXPECT_EQ(lo, (Vec2{0, 0}));
+  EXPECT_EQ(hi, (Vec2{1, 1}));
+}
+
+}  // namespace
+}  // namespace dtn::geo

@@ -1,0 +1,140 @@
+#include "geo/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace dtn::geo {
+namespace {
+
+TEST(SpatialGrid, QueryFindsInRangeOnly) {
+  SpatialGrid grid(10.0);
+  grid.insert(0, {0.0, 0.0});
+  grid.insert(1, {5.0, 0.0});
+  grid.insert(2, {20.0, 0.0});
+  auto near = grid.query({0.0, 0.0}, 10.0, 0);
+  std::sort(near.begin(), near.end());
+  EXPECT_EQ(near, (std::vector<std::int32_t>{1}));
+}
+
+TEST(SpatialGrid, QueryExcludesSelf) {
+  SpatialGrid grid(10.0);
+  grid.insert(7, {1.0, 1.0});
+  EXPECT_TRUE(grid.query({1.0, 1.0}, 5.0, 7).empty());
+  EXPECT_EQ(grid.query({1.0, 1.0}, 5.0).size(), 1u);
+}
+
+TEST(SpatialGrid, ClearKeepsNothing) {
+  SpatialGrid grid(10.0);
+  grid.insert(0, {0.0, 0.0});
+  EXPECT_EQ(grid.size(), 1u);
+  grid.clear();
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.query({0.0, 0.0}, 100.0).empty());
+}
+
+TEST(SpatialGrid, NegativeCoordinates) {
+  SpatialGrid grid(10.0);
+  grid.insert(0, {-15.0, -15.0});
+  grid.insert(1, {-12.0, -15.0});
+  const auto pairs = grid.all_pairs(10.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<std::int32_t, std::int32_t>{0, 1}));
+}
+
+TEST(SpatialGrid, AllPairsAcrossCellBoundary) {
+  SpatialGrid grid(10.0);
+  // Points in adjacent cells but within range.
+  grid.insert(0, {9.5, 0.0});
+  grid.insert(1, {10.5, 0.0});
+  const auto pairs = grid.all_pairs(10.0);
+  ASSERT_EQ(pairs.size(), 1u);
+}
+
+TEST(SpatialGrid, AllPairsMatchesBruteForceOnRandomPoints) {
+  const double radius = 10.0;
+  SpatialGrid grid(radius);
+  util::Pcg32 rng(99, 1);
+  std::vector<Vec2> pts;
+  for (std::int32_t i = 0; i < 200; ++i) {
+    const Vec2 p{rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0)};
+    pts.push_back(p);
+    grid.insert(i, p);
+  }
+  std::set<std::pair<std::int32_t, std::int32_t>> expected;
+  for (std::int32_t i = 0; i < 200; ++i) {
+    for (std::int32_t j = i + 1; j < 200; ++j) {
+      if (pts[static_cast<std::size_t>(i)].distance_to(
+              pts[static_cast<std::size_t>(j)]) <= radius) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  auto pairs = grid.all_pairs(radius);
+  const std::set<std::pair<std::int32_t, std::int32_t>> actual(pairs.begin(),
+                                                               pairs.end());
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(pairs.size(), actual.size()) << "no duplicate pairs";
+}
+
+TEST(SpatialGrid, QueryMatchesBruteForce) {
+  const double radius = 7.5;
+  SpatialGrid grid(radius);
+  util::Pcg32 rng(123, 5);
+  std::vector<Vec2> pts;
+  for (std::int32_t i = 0; i < 150; ++i) {
+    const Vec2 p{rng.uniform(0.0, 80.0), rng.uniform(0.0, 80.0)};
+    pts.push_back(p);
+    grid.insert(i, p);
+  }
+  const Vec2 probe{40.0, 40.0};
+  auto found = grid.query(probe, radius);
+  std::sort(found.begin(), found.end());
+  std::vector<std::int32_t> expected;
+  for (std::int32_t i = 0; i < 150; ++i) {
+    if (probe.distance_to(pts[static_cast<std::size_t>(i)]) <= radius) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(found, expected);
+}
+
+TEST(SpatialGrid, ZeroOrNegativeCellSizeSanitized) {
+  SpatialGrid g1(0.0);
+  EXPECT_GT(g1.cell_size(), 0.0);
+  SpatialGrid g2(-3.0);
+  EXPECT_GT(g2.cell_size(), 0.0);
+}
+
+class GridDensityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridDensityTest, PairCountMatchesBruteForce) {
+  const int n = GetParam();
+  const double radius = 10.0;
+  SpatialGrid grid(radius);
+  util::Pcg32 rng(7, static_cast<std::uint64_t>(n));
+  std::vector<Vec2> pts;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Vec2 p{rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)};
+    pts.push_back(p);
+    grid.insert(i, p);
+  }
+  std::size_t expected = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = i + 1; j < n; ++j) {
+      if (pts[static_cast<std::size_t>(i)].distance_to(
+              pts[static_cast<std::size_t>(j)]) <= radius) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(grid.all_pairs(radius).size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, GridDensityTest, ::testing::Values(2, 10, 50, 120));
+
+}  // namespace
+}  // namespace dtn::geo

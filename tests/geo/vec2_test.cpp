@@ -1,0 +1,62 @@
+#include "geo/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dtn::geo {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -2.0}));
+}
+
+TEST(Vec2, CompoundAssign) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{0.0, 0.0}).distance_to(v), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{0.0, 0.0}).distance2_to(v), 25.0);
+}
+
+TEST(Vec2, Dot) {
+  EXPECT_DOUBLE_EQ((Vec2{1.0, 2.0}).dot(Vec2{3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ((Vec2{1.0, 0.0}).dot(Vec2{0.0, 1.0}), 0.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 n = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.y, 0.8, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroIsZero) {
+  const Vec2 n = Vec2{0.0, 0.0}.normalized();
+  EXPECT_EQ(n, (Vec2{0.0, 0.0}));
+}
+
+TEST(Vec2, LerpEndpointsAndMidpoint) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec2{5.0, 10.0}));
+}
+
+}  // namespace
+}  // namespace dtn::geo

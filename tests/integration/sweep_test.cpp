@@ -1,0 +1,99 @@
+// Harness sweep runner: grid execution, aggregation, and table rendering.
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace dtn::harness {
+namespace {
+
+SweepOptions tiny_sweep() {
+  SweepOptions opt;
+  opt.protocols = {"DirectDelivery", "Epidemic"};
+  opt.node_counts = {12, 20};
+  opt.seeds = 2;
+  opt.seed_base = 77;
+  opt.base.duration_s = 1200.0;
+  opt.base.traffic.ttl = 600.0;
+  opt.base.map.rows = 6;
+  opt.base.map.cols = 8;
+  opt.base.map.districts = 2;
+  opt.base.map.routes_per_district = 2;
+  return opt;
+}
+
+TEST(Sweep, ProducesOnePointPerProtocolNodeCount) {
+  const auto results = run_sweep(tiny_sweep());
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& p : results) {
+    EXPECT_EQ(p.delivery_ratio.count(), 2u) << "one sample per seed";
+    EXPECT_EQ(p.goodput.count(), 2u);
+  }
+}
+
+TEST(Sweep, ProgressCallbackFiresPerRun) {
+  SweepOptions opt = tiny_sweep();
+  std::atomic<int> calls{0};
+  opt.progress = [&calls](const std::string&) { calls.fetch_add(1); };
+  run_sweep(opt);
+  EXPECT_EQ(calls.load(), 2 * 2 * 2);  // protocols * node counts * seeds
+}
+
+TEST(Sweep, OrderFollowsInputs) {
+  const auto results = run_sweep(tiny_sweep());
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].protocol, "DirectDelivery");
+  EXPECT_EQ(results[0].node_count, 12);
+  EXPECT_EQ(results[1].node_count, 20);
+  EXPECT_EQ(results[2].protocol, "Epidemic");
+}
+
+TEST(Sweep, EpidemicDominatesDirectDeliveryOnDeliveries) {
+  const auto results = run_sweep(tiny_sweep());
+  // Aggregate over node counts: epidemic's flooding can't deliver less.
+  double direct = 0.0;
+  double epidemic = 0.0;
+  for (const auto& p : results) {
+    (p.protocol == "Epidemic" ? epidemic : direct) += p.delivery_ratio.mean();
+  }
+  EXPECT_GE(epidemic + 1e-9, direct);
+}
+
+TEST(Sweep, MetricTableLayout) {
+  const auto results = run_sweep(tiny_sweep());
+  const auto table = metric_table(results, Metric::kDeliveryRatio);
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("nodes"), std::string::npos);
+  EXPECT_NE(rendered.find("DirectDelivery"), std::string::npos);
+  EXPECT_NE(rendered.find("Epidemic"), std::string::npos);
+  EXPECT_NE(rendered.find("12"), std::string::npos);
+  EXPECT_NE(rendered.find("20"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Sweep, MetricAccessorsCoverAllMetrics) {
+  const auto results = run_sweep(tiny_sweep());
+  for (const auto metric : {Metric::kDeliveryRatio, Metric::kLatency, Metric::kGoodput,
+                            Metric::kControlMb, Metric::kRelayed}) {
+    EXPECT_FALSE(metric_name(metric).empty());
+    EXPECT_GE(metric_value(results[0], metric), 0.0);
+  }
+}
+
+TEST(Sweep, ParallelAndSerialAgree) {
+  SweepOptions opt = tiny_sweep();
+  opt.threads = 1;
+  const auto serial = run_sweep(opt);
+  opt.threads = 4;
+  const auto parallel = run_sweep(opt);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].delivery_ratio.mean(),
+                     parallel[i].delivery_ratio.mean());
+    EXPECT_DOUBLE_EQ(serial[i].goodput.mean(), parallel[i].goodput.mean());
+  }
+}
+
+}  // namespace
+}  // namespace dtn::harness

@@ -1,0 +1,129 @@
+#include "mobility/bus_movement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geo/polyline.hpp"
+
+namespace dtn::mobility {
+namespace {
+
+std::shared_ptr<const geo::Polyline> rectangle_route() {
+  return std::make_shared<const geo::Polyline>(
+      std::vector<geo::Vec2>{{0, 0}, {1000, 0}, {1000, 500}, {0, 500}},
+      /*closed=*/true);
+}
+
+BusParams fast_params() {
+  BusParams p;
+  p.speed_min = 10.0;
+  p.speed_max = 10.0;
+  p.stop_spacing = 500.0;
+  p.pause_min = 0.0;
+  p.pause_max = 0.0;
+  return p;
+}
+
+TEST(BusMovement, StaysOnRoute) {
+  auto route = rectangle_route();
+  BusMovement m(route, fast_params());
+  m.init(util::Pcg32(1, 1), 0.0);
+  for (int i = 0; i < 5000; ++i) {
+    m.step(i * 0.1, 0.1);
+    const geo::Vec2 p = m.position();
+    const double s = route->project(p);
+    EXPECT_LT(p.distance_to(route->point_at(s)), 1e-6);
+  }
+}
+
+TEST(BusMovement, AdvancesAtConfiguredSpeed) {
+  BusMovement m(rectangle_route(), fast_params());
+  m.init(util::Pcg32(2, 2), 0.0);
+  const double c0 = m.cursor();
+  m.step(0.0, 10.0);
+  // 10 m/s for 10 s with no pauses = 100 m of arc length.
+  EXPECT_NEAR(m.cursor() - c0, 100.0, 1e-6);
+}
+
+TEST(BusMovement, PausesAtStops) {
+  BusParams p = fast_params();
+  p.pause_min = 5.0;
+  p.pause_max = 5.0;
+  BusMovement m(rectangle_route(), p);
+  m.init(util::Pcg32(3, 3), 0.0);
+  const double c0 = m.cursor();
+  // Travel 500 m (50 s) then dwell 5 s: over 60 s total advance is 550 m
+  // (500 before the stop + 5 s pause + 5 s more driving).
+  m.step(0.0, 60.0);
+  EXPECT_NEAR(m.cursor() - c0, 550.0, 1e-6);
+}
+
+TEST(BusMovement, WrapsAroundClosedRoute) {
+  auto route = rectangle_route();
+  BusMovement m(route, fast_params());
+  m.init(util::Pcg32(4, 4), 0.0);
+  // Long enough to lap the 3000 m route several times.
+  for (int i = 0; i < 20000; ++i) {
+    m.step(i * 0.1, 0.1);
+  }
+  const geo::Vec2 p = m.position();
+  // Still on the rectangle boundary.
+  EXPECT_LT(p.distance_to(route->point_at(route->project(p))), 1e-6);
+}
+
+TEST(BusMovement, DeterministicPerStream) {
+  BusMovement a(rectangle_route(), fast_params());
+  BusMovement b(rectangle_route(), fast_params());
+  a.init(util::Pcg32(5, 5), 0.0);
+  b.init(util::Pcg32(5, 5), 0.0);
+  for (int i = 0; i < 2000; ++i) {
+    a.step(i * 0.1, 0.1);
+    b.step(i * 0.1, 0.1);
+    EXPECT_EQ(a.position().x, b.position().x);
+    EXPECT_EQ(a.position().y, b.position().y);
+  }
+}
+
+TEST(BusMovement, DifferentStreamsStartDifferently) {
+  BusMovement a(rectangle_route(), fast_params());
+  BusMovement b(rectangle_route(), fast_params());
+  a.init(util::Pcg32(6, 6), 0.0);
+  b.init(util::Pcg32(7, 7), 0.0);
+  EXPECT_NE(a.cursor(), b.cursor());
+}
+
+TEST(BusMovement, SpeedWithinPaperRange) {
+  BusParams p;
+  p.speed_min = 2.7;
+  p.speed_max = 13.9;
+  p.pause_min = p.pause_max = 0.0;
+  p.stop_spacing = 1e9;  // no stops: constant speed segment
+  BusMovement m(rectangle_route(), p);
+  m.init(util::Pcg32(8, 8), 0.0);
+  const double c0 = m.cursor();
+  m.step(0.0, 10.0);
+  const double v = (m.cursor() - c0) / 10.0;
+  EXPECT_GE(v, 2.7);
+  EXPECT_LE(v, 13.9);
+}
+
+TEST(BusMovement, NullRouteIsNoop) {
+  BusMovement m(nullptr, fast_params());
+  m.init(util::Pcg32(9, 9), 0.0);
+  m.step(0.0, 10.0);
+  EXPECT_EQ(m.position(), (geo::Vec2{0.0, 0.0}));
+}
+
+TEST(BusMovement, StepSizeInvariance) {
+  BusMovement a(rectangle_route(), fast_params());
+  BusMovement b(rectangle_route(), fast_params());
+  a.init(util::Pcg32(10, 10), 0.0);
+  b.init(util::Pcg32(10, 10), 0.0);
+  a.step(0.0, 25.0);
+  for (int i = 0; i < 250; ++i) b.step(i * 0.1, 0.1);
+  EXPECT_NEAR(a.cursor(), b.cursor(), 1e-6);
+}
+
+}  // namespace
+}  // namespace dtn::mobility

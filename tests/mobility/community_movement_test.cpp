@@ -1,0 +1,94 @@
+#include "mobility/community_movement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtn::mobility {
+namespace {
+
+CommunityMovementParams default_params() {
+  CommunityMovementParams p;
+  p.world_min = {0.0, 0.0};
+  p.world_max = {1000.0, 1000.0};
+  p.home_min = {0.0, 0.0};
+  p.home_max = {250.0, 1000.0};
+  p.home_prob = 0.9;
+  p.speed_min = 1.0;
+  p.speed_max = 2.0;
+  p.pause_min = p.pause_max = 0.0;
+  return p;
+}
+
+TEST(CommunityMovement, StaysInsideWorld) {
+  CommunityMovement m(default_params());
+  m.init(util::Pcg32(1, 1), 0.0);
+  for (int i = 0; i < 20000; ++i) {
+    m.step(i * 0.1, 0.1);
+    const geo::Vec2 p = m.position();
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1000.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1000.0);
+  }
+}
+
+TEST(CommunityMovement, StartsInHomeArea) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    CommunityMovement m(default_params());
+    m.init(util::Pcg32(seed, seed), 0.0);
+    const geo::Vec2 p = m.position();
+    EXPECT_LE(p.x, 250.0);
+  }
+}
+
+TEST(CommunityMovement, SpendsMostTimeAtHome) {
+  CommunityMovement m(default_params());
+  m.init(util::Pcg32(7, 7), 0.0);
+  int home_steps = 0;
+  const int total = 100000;
+  for (int i = 0; i < total; ++i) {
+    m.step(i * 0.1, 0.1);
+    if (m.position().x <= 250.0) ++home_steps;
+  }
+  // With home_prob 0.9 and a home band of 1/4 of the world, well over half
+  // the time should be spent in the home band (exact fraction depends on
+  // transit time across the world).
+  EXPECT_GT(static_cast<double>(home_steps) / total, 0.6);
+}
+
+TEST(CommunityMovement, RoamsOccasionally) {
+  CommunityMovement m(default_params());
+  m.init(util::Pcg32(8, 8), 0.0);
+  bool left_home = false;
+  for (int i = 0; i < 200000 && !left_home; ++i) {
+    m.step(i * 0.1, 0.1);
+    if (m.position().x > 500.0) left_home = true;
+  }
+  EXPECT_TRUE(left_home);  // home_prob 0.9 leaves 10% roam trips
+}
+
+TEST(CommunityMovement, HomeProbOneNeverLeaves) {
+  CommunityMovementParams p = default_params();
+  p.home_prob = 1.0;
+  CommunityMovement m(p);
+  m.init(util::Pcg32(9, 9), 0.0);
+  for (int i = 0; i < 50000; ++i) {
+    m.step(i * 0.1, 0.1);
+    EXPECT_LE(m.position().x, 250.0 + 1e-9);
+  }
+}
+
+TEST(CommunityMovement, Deterministic) {
+  CommunityMovement a(default_params());
+  CommunityMovement b(default_params());
+  a.init(util::Pcg32(10, 10), 0.0);
+  b.init(util::Pcg32(10, 10), 0.0);
+  for (int i = 0; i < 2000; ++i) {
+    a.step(i * 0.1, 0.1);
+    b.step(i * 0.1, 0.1);
+    EXPECT_EQ(a.position().x, b.position().x);
+    EXPECT_EQ(a.position().y, b.position().y);
+  }
+}
+
+}  // namespace
+}  // namespace dtn::mobility

@@ -1,0 +1,100 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dtn::mobility {
+namespace {
+
+RandomWaypointParams default_params() {
+  RandomWaypointParams p;
+  p.world_min = {0.0, 0.0};
+  p.world_max = {100.0, 100.0};
+  p.speed_min = 1.0;
+  p.speed_max = 2.0;
+  return p;
+}
+
+TEST(RandomWaypoint, StaysInsideWorld) {
+  RandomWaypoint m(default_params());
+  m.init(util::Pcg32(1, 1), 0.0);
+  for (int i = 0; i < 20000; ++i) {
+    m.step(i * 0.1, 0.1);
+    const geo::Vec2 p = m.position();
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 100.0);
+  }
+}
+
+TEST(RandomWaypoint, SpeedBounded) {
+  RandomWaypoint m(default_params());
+  m.init(util::Pcg32(2, 2), 0.0);
+  geo::Vec2 prev = m.position();
+  for (int i = 0; i < 5000; ++i) {
+    m.step(i * 0.1, 0.1);
+    const geo::Vec2 cur = m.position();
+    const double speed = prev.distance_to(cur) / 0.1;
+    // Within a step the node may arrive and re-depart, but speed can never
+    // exceed the max (no pauses configured here would only lower it).
+    EXPECT_LE(speed, 2.0 + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(RandomWaypoint, DeterministicForSameStream) {
+  RandomWaypoint a(default_params());
+  RandomWaypoint b(default_params());
+  a.init(util::Pcg32(3, 3), 0.0);
+  b.init(util::Pcg32(3, 3), 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    a.step(i * 0.1, 0.1);
+    b.step(i * 0.1, 0.1);
+    EXPECT_EQ(a.position().x, b.position().x);
+    EXPECT_EQ(a.position().y, b.position().y);
+  }
+}
+
+TEST(RandomWaypoint, StepSizeInvariance) {
+  // One big step equals many small steps (piecewise-exact integration).
+  RandomWaypoint a(default_params());
+  RandomWaypoint b(default_params());
+  a.init(util::Pcg32(4, 4), 0.0);
+  b.init(util::Pcg32(4, 4), 0.0);
+  a.step(0.0, 10.0);
+  for (int i = 0; i < 100; ++i) b.step(i * 0.1, 0.1);
+  EXPECT_NEAR(a.position().x, b.position().x, 1e-6);
+  EXPECT_NEAR(a.position().y, b.position().y, 1e-6);
+}
+
+TEST(RandomWaypoint, PausesHoldPosition) {
+  RandomWaypointParams p = default_params();
+  p.pause_min = 5.0;
+  p.pause_max = 5.0;
+  p.speed_min = p.speed_max = 1000.0;  // waypoints reached near-instantly
+  RandomWaypoint m(p);
+  m.init(util::Pcg32(5, 5), 0.0);
+  // After the first arrival the node must sit still for ~5 s; sample two
+  // nearby instants and expect zero movement at least once across a window.
+  int stationary_steps = 0;
+  geo::Vec2 prev = m.position();
+  for (int i = 0; i < 100; ++i) {
+    m.step(i * 0.1, 0.1);
+    if (m.position().distance_to(prev) == 0.0) ++stationary_steps;
+    prev = m.position();
+  }
+  EXPECT_GT(stationary_steps, 30);
+}
+
+TEST(RandomWaypoint, MovesEventually) {
+  RandomWaypoint m(default_params());
+  m.init(util::Pcg32(6, 6), 0.0);
+  const geo::Vec2 start = m.position();
+  m.step(0.0, 30.0);
+  EXPECT_GT(start.distance_to(m.position()), 0.0);
+}
+
+}  // namespace
+}  // namespace dtn::mobility

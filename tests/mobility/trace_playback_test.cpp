@@ -1,0 +1,102 @@
+#include "mobility/trace_playback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/trace.hpp"
+
+namespace dtn::mobility {
+namespace {
+
+std::vector<geo::TraceSample> line_samples() {
+  return {{0.0, 0, {0.0, 0.0}}, {10.0, 0, {100.0, 0.0}}, {20.0, 0, {100.0, 50.0}}};
+}
+
+TEST(TracePlayback, InterpolatesLinearly) {
+  TracePlayback m(line_samples());
+  m.init(util::Pcg32(1, 1), 0.0);
+  m.step(0.0, 5.0);  // t = 5: halfway of first segment
+  EXPECT_NEAR(m.position().x, 50.0, 1e-9);
+  EXPECT_NEAR(m.position().y, 0.0, 1e-9);
+  m.step(5.0, 10.0);  // t = 15: halfway of second segment
+  EXPECT_NEAR(m.position().x, 100.0, 1e-9);
+  EXPECT_NEAR(m.position().y, 25.0, 1e-9);
+}
+
+TEST(TracePlayback, ClampsBeforeAndAfter) {
+  TracePlayback m(line_samples());
+  m.init(util::Pcg32(1, 1), 0.0);
+  EXPECT_EQ(m.position(), (geo::Vec2{0.0, 0.0}));
+  m.step(0.0, 1000.0);
+  EXPECT_EQ(m.position(), (geo::Vec2{100.0, 50.0}));
+}
+
+TEST(TracePlayback, InitAtLateStart) {
+  TracePlayback m(line_samples());
+  m.init(util::Pcg32(1, 1), 15.0);
+  EXPECT_NEAR(m.position().y, 25.0, 1e-9);
+}
+
+TEST(TracePlayback, EmptySamplesPinnedAtOrigin) {
+  TracePlayback m({});
+  m.init(util::Pcg32(1, 1), 0.0);
+  m.step(0.0, 100.0);
+  EXPECT_EQ(m.position(), (geo::Vec2{0.0, 0.0}));
+}
+
+TEST(TracePlayback, SingleSampleIsStationary) {
+  TracePlayback m({{5.0, 0, {7.0, 8.0}}});
+  m.init(util::Pcg32(1, 1), 0.0);
+  m.step(0.0, 100.0);
+  EXPECT_EQ(m.position(), (geo::Vec2{7.0, 8.0}));
+}
+
+TEST(TracePlayback, DuplicateTimesHandled) {
+  TracePlayback m({{0.0, 0, {0.0, 0.0}}, {0.0, 0, {5.0, 5.0}}, {10.0, 0, {10.0, 10.0}}});
+  m.init(util::Pcg32(1, 1), 0.0);
+  m.step(0.0, 5.0);
+  // No NaN / crash; position lies between the recorded extremes.
+  EXPECT_GE(m.position().x, 0.0);
+  EXPECT_LE(m.position().x, 10.0);
+}
+
+TEST(TracePlayback, FromTraceBuildsPerNodeModels) {
+  geo::Trace trace;
+  trace.samples = {{0.0, 0, {0.0, 0.0}},
+                   {0.0, 1, {50.0, 0.0}},
+                   {10.0, 0, {10.0, 0.0}},
+                   {10.0, 1, {50.0, 10.0}}};
+  auto models = TracePlayback::from_trace(trace);
+  ASSERT_EQ(models.size(), 2u);
+  models[0]->init(util::Pcg32(1, 1), 0.0);
+  models[1]->init(util::Pcg32(1, 1), 0.0);
+  models[0]->step(0.0, 5.0);
+  models[1]->step(0.0, 5.0);
+  EXPECT_NEAR(models[0]->position().x, 5.0, 1e-9);
+  EXPECT_NEAR(models[1]->position().y, 5.0, 1e-9);
+  EXPECT_NEAR(models[1]->position().x, 50.0, 1e-9);
+}
+
+TEST(TracePlayback, FromTraceWithGapNodeIds) {
+  geo::Trace trace;
+  trace.samples = {{0.0, 2, {1.0, 1.0}}};  // nodes 0,1 have no samples
+  auto models = TracePlayback::from_trace(trace);
+  ASSERT_EQ(models.size(), 3u);
+  models[0]->init(util::Pcg32(1, 1), 0.0);
+  EXPECT_EQ(models[0]->position(), (geo::Vec2{0.0, 0.0}));
+  models[2]->init(util::Pcg32(1, 1), 0.0);
+  EXPECT_EQ(models[2]->position(), (geo::Vec2{1.0, 1.0}));
+}
+
+TEST(TracePlayback, MonotonicSteppingMatchesRandomAccess) {
+  TracePlayback a(line_samples());
+  a.init(util::Pcg32(1, 1), 0.0);
+  for (int i = 0; i < 200; ++i) {
+    a.step(i * 0.1, 0.1);
+  }
+  // t = 20 at the end.
+  EXPECT_NEAR(a.position().x, 100.0, 1e-9);
+  EXPECT_NEAR(a.position().y, 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dtn::mobility

@@ -1,0 +1,124 @@
+#include "routing/ebr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_support.hpp"
+
+namespace dtn::routing {
+namespace {
+
+using test::make_message;
+using test::pinned;
+using test::scripted;
+using test::test_world_config;
+
+std::unique_ptr<EbrRouter> ebr(int copies = 10) {
+  EbrParams p;
+  p.copies = copies;
+  return std::make_unique<EbrRouter>(p);
+}
+
+TEST(Ebr, InitialEncounterValueZero) {
+  EbrRouter r(EbrParams{});
+  EXPECT_DOUBLE_EQ(r.encounter_value(), 0.0);
+}
+
+TEST(Ebr, EvGrowsWithContacts) {
+  // Node 0 pinned; node 1 oscillates in/out of range creating contacts.
+  sim::World world(test_world_config());
+  auto router0 = ebr();
+  EbrRouter* r0 = router0.get();
+  world.add_node(pinned({0.0, 0.0}), std::move(router0));
+  std::vector<std::pair<double, geo::Vec2>> keyframes;
+  for (int k = 0; k < 10; ++k) {
+    keyframes.push_back({k * 40.0, {5.0, 0.0}});
+    keyframes.push_back({k * 40.0 + 20.0, {50.0, 0.0}});
+  }
+  world.add_node(scripted(std::move(keyframes)), ebr());
+  world.run(400.0);
+  EXPECT_GT(r0->encounter_value(), 0.0);
+}
+
+TEST(Ebr, EvDecaysWithoutContacts) {
+  sim::World world(test_world_config());
+  auto router0 = ebr();
+  EbrRouter* r0 = router0.get();
+  world.add_node(pinned({0.0, 0.0}), std::move(router0));
+  // A few contacts early, then isolation.
+  std::vector<std::pair<double, geo::Vec2>> keyframes;
+  for (int k = 0; k < 4; ++k) {
+    keyframes.push_back({k * 40.0, {5.0, 0.0}});
+    keyframes.push_back({k * 40.0 + 20.0, {50.0, 0.0}});
+  }
+  keyframes.push_back({2000.0, {50.0, 0.0}});
+  world.add_node(scripted(std::move(keyframes)), ebr());
+  world.run(200.0);
+  const double ev_active = r0->encounter_value();
+  world.run(1800.0);  // long quiet period: EWMA decays toward 0
+  EXPECT_LT(r0->encounter_value(), ev_active);
+}
+
+TEST(Ebr, SplitsProportionallyToEv) {
+  // Node 1 has high EV (frequent contacts with node 3); node 0 has none.
+  // When 0 meets 1, nearly all replicas should go to 1.
+  sim::World world(test_world_config());
+  world.add_node(scripted({{0.0, {1000.0, 0.0}},
+                           {300.0, {1000.0, 0.0}},
+                           {310.0, {5.0, 0.0}},
+                           {2000.0, {5.0, 0.0}}}),
+                 ebr(10));
+  std::vector<std::pair<double, geo::Vec2>> busy;  // oscillates near node 3
+  for (int k = 0; k < 15; ++k) {
+    busy.push_back({k * 20.0, {1000.0, 500.0}});
+    busy.push_back({k * 20.0 + 10.0, {1000.0, 540.0}});
+  }
+  busy.push_back({310.0, {0.0, 0.0}});
+  busy.push_back({2000.0, {0.0, 0.0}});
+  world.add_node(scripted(std::move(busy)), ebr(10));
+  world.add_node(pinned({1000.0, 505.0}), ebr(10));        // contact partner for 1
+  world.add_node(pinned({-3000.0, 0.0}), ebr(10));         // unreachable destination
+  world.run(305.0);
+  world.inject_message(make_message(0, 0, 3));
+  world.run(100.0);  // nodes 0 and 1 meet around t=310
+  const auto* at0 = world.buffer_of(0).find(0);
+  const auto* at1 = world.buffer_of(1).find(0);
+  ASSERT_NE(at1, nullptr);
+  // EV_1 >> EV_0 = 0: floor(10 * EV1/(EV1+EV0)) hands over the full quota
+  // (EBR's ratio rule), so node 0 may retain nothing at all.
+  const int r0_replicas = at0 != nullptr ? at0->replicas : 0;
+  EXPECT_GE(at1->replicas, 7);
+  EXPECT_EQ(r0_replicas + at1->replicas, 10);
+}
+
+TEST(Ebr, WaitPhaseDeliversOnlyDirect) {
+  sim::World world(test_world_config());
+  world.add_node(pinned({0.0, 0.0}), ebr(1));
+  world.add_node(pinned({5.0, 0.0}), ebr(1));
+  world.add_node(pinned({2000.0, 0.0}), ebr(1));
+  world.step();
+  world.inject_message(make_message(0, 0, 2));
+  world.run(2.0);
+  EXPECT_TRUE(world.buffer_of(0).has(0));
+  EXPECT_FALSE(world.buffer_of(1).has(0));
+  world.inject_message(make_message(1, 0, 1));
+  world.run(2.0);
+  EXPECT_EQ(world.metrics().delivered(), 1);  // direct delivery still works
+}
+
+TEST(Ebr, EvenSplitWhenBothEvZero) {
+  sim::World world(test_world_config());
+  world.add_node(pinned({0.0, 0.0}), ebr(10));
+  world.add_node(pinned({5.0, 0.0}), ebr(10));
+  world.add_node(pinned({2000.0, 0.0}), ebr(10));
+  world.step();  // first-ever contact: both EVs still 0 until window rolls
+  world.inject_message(make_message(0, 0, 2));
+  world.run(2.0);
+  const auto* at1 = world.buffer_of(1).find(0);
+  ASSERT_NE(at1, nullptr);
+  EXPECT_EQ(at1->replicas, 5);
+}
+
+}  // namespace
+}  // namespace dtn::routing

@@ -1,0 +1,85 @@
+#include "routing/epidemic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_support.hpp"
+
+namespace dtn::routing {
+namespace {
+
+using test::make_message;
+using test::pinned;
+using test::test_world_config;
+
+TEST(Epidemic, DirectDeliveryOnContact) {
+  sim::World world(test_world_config());
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.add_node(pinned({5.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.step();
+  world.inject_message(make_message(0, 0, 1));
+  world.run(2.0);
+  EXPECT_EQ(world.metrics().delivered(), 1);
+}
+
+TEST(Epidemic, FloodsAlongChain) {
+  // 0 -- 1 -- 2 (0 and 2 out of range of each other).
+  sim::World world(test_world_config());
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.add_node(pinned({8.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.add_node(pinned({16.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.step();
+  world.inject_message(make_message(0, 0, 2));
+  world.run(3.0);
+  EXPECT_EQ(world.metrics().delivered(), 1);
+  // The source retains its copy (replication); the relay dropped its copy
+  // after successfully handing the message to the destination.
+  EXPECT_TRUE(world.buffer_of(0).has(0));
+}
+
+TEST(Epidemic, SenderKeepsCopyAfterReplication) {
+  sim::World world(test_world_config());
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.add_node(pinned({5.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.add_node(pinned({2000.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.step();
+  world.inject_message(make_message(0, 0, 2));  // dst unreachable
+  world.run(2.0);
+  EXPECT_TRUE(world.buffer_of(0).has(0));
+  EXPECT_TRUE(world.buffer_of(1).has(0));
+}
+
+TEST(Epidemic, NoDuplicateSendsToHolder) {
+  sim::World world(test_world_config());
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.add_node(pinned({5.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.add_node(pinned({2000.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.step();
+  world.inject_message(make_message(0, 0, 2));
+  world.run(5.0);
+  // Exactly one relay: 0 -> 1. No ping-pong copies back to 0.
+  EXPECT_EQ(world.metrics().relayed(), 1);
+}
+
+TEST(Epidemic, ExpiredMessagesNotSent) {
+  sim::World world(test_world_config());
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.add_node(pinned({5.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.inject_message(make_message(0, 0, 1, 0.0, /*ttl=*/0.05));
+  world.run(2.0);  // contact forms after expiry
+  EXPECT_EQ(world.metrics().delivered(), 0);
+}
+
+TEST(Epidemic, NewMessagePushedToActiveContacts) {
+  sim::World world(test_world_config());
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.add_node(pinned({5.0, 0.0}), std::make_unique<EpidemicRouter>());
+  world.step();  // contact up happens before the message exists
+  world.inject_message(make_message(0, 0, 1));
+  world.run(1.0);
+  EXPECT_EQ(world.metrics().delivered(), 1);
+}
+
+}  // namespace
+}  // namespace dtn::routing

@@ -1,0 +1,67 @@
+#include "routing/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtn::routing {
+namespace {
+
+TEST(Factory, KnownProtocolsAllConstruct) {
+  auto communities = std::make_shared<const core::CommunityTable>(
+      std::vector<int>{0, 0, 1, 1});
+  for (const auto& name : known_protocols()) {
+    ProtocolConfig config;
+    config.name = name;
+    config.communities = communities;
+    const auto router = create_router(config);
+    ASSERT_NE(router, nullptr) << name;
+    EXPECT_EQ(router->name(), name == "SprayAndFocus" ? "SprayAndFocus" : name);
+  }
+}
+
+TEST(Factory, UnknownProtocolThrows) {
+  ProtocolConfig config;
+  config.name = "NoSuchProtocol";
+  EXPECT_THROW(create_router(config), std::invalid_argument);
+}
+
+TEST(Factory, CrRequiresCommunities) {
+  ProtocolConfig config;
+  config.name = "CR";
+  config.communities = nullptr;
+  EXPECT_THROW(create_router(config), std::invalid_argument);
+}
+
+TEST(Factory, CopiesPropagateToQuotaProtocols) {
+  for (const std::string name : {"EER", "EBR", "SprayAndWait", "SprayAndFocus"}) {
+    ProtocolConfig config;
+    config.name = name;
+    config.copies = 7;
+    const auto router = create_router(config);
+    EXPECT_EQ(router->initial_replicas(), 7) << name;
+  }
+}
+
+TEST(Factory, NonQuotaProtocolsUseSingleCopy) {
+  for (const std::string name : {"Epidemic", "MaxProp", "DirectDelivery", "PRoPHET"}) {
+    ProtocolConfig config;
+    config.name = name;
+    config.copies = 7;  // must be ignored
+    const auto router = create_router(config);
+    EXPECT_EQ(router->initial_replicas(), 1) << name;
+  }
+}
+
+TEST(Factory, Figure2LineupIsAvailable) {
+  const auto names = known_protocols();
+  for (const std::string required :
+       {"EER", "CR", "EBR", "MaxProp", "SprayAndWait", "SprayAndFocus"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
+  }
+}
+
+}  // namespace
+}  // namespace dtn::routing

@@ -1,0 +1,109 @@
+#include "sim/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+
+namespace dtn::sim {
+namespace {
+
+using test::make_message;
+
+StoredMessage stored(MsgId id, std::int64_t kb = 25, double received_at = 0.0,
+                     int replicas = 1) {
+  StoredMessage sm;
+  sm.msg = make_message(id, 0, 1, 0.0, 1200.0, kb);
+  sm.replicas = replicas;
+  sm.received_at = received_at;
+  return sm;
+}
+
+TEST(Buffer, InsertFindErase) {
+  Buffer buf(1 << 20);
+  buf.insert(stored(7));
+  EXPECT_TRUE(buf.has(7));
+  EXPECT_EQ(buf.count(), 1u);
+  ASSERT_NE(buf.find(7), nullptr);
+  EXPECT_EQ(buf.find(7)->msg.id, 7);
+  EXPECT_TRUE(buf.erase(7));
+  EXPECT_FALSE(buf.has(7));
+  EXPECT_FALSE(buf.erase(7));
+  EXPECT_EQ(buf.used(), 0);
+}
+
+TEST(Buffer, UsedBytesTracked) {
+  Buffer buf(1 << 20);
+  buf.insert(stored(1, 25));
+  buf.insert(stored(2, 100));
+  EXPECT_EQ(buf.used(), (25 + 100) * 1024);
+  buf.erase(1);
+  EXPECT_EQ(buf.used(), 100 * 1024);
+  EXPECT_EQ(buf.free_bytes(), (1 << 20) - 100 * 1024);
+}
+
+TEST(Buffer, FitsAndAdmissible) {
+  Buffer buf(50 * 1024);
+  const Message small = make_message(1, 0, 1, 0.0, 1200.0, 25);
+  const Message huge = make_message(2, 0, 1, 0.0, 1200.0, 100);
+  EXPECT_TRUE(buf.admissible(small));
+  EXPECT_FALSE(buf.admissible(huge));
+  buf.insert(stored(3, 40));
+  EXPECT_FALSE(buf.fits(small));
+  EXPECT_TRUE(buf.admissible(small));  // would fit an empty buffer
+}
+
+TEST(Buffer, OldestFollowsInsertionOrder) {
+  Buffer buf(1 << 20);
+  EXPECT_EQ(buf.oldest(), Buffer::kInvalidMsg);
+  buf.insert(stored(5));
+  buf.insert(stored(6));
+  buf.insert(stored(7));
+  EXPECT_EQ(buf.oldest(), 5);
+  buf.erase(5);
+  EXPECT_EQ(buf.oldest(), 6);
+}
+
+TEST(Buffer, MessagesIterateInInsertionOrder) {
+  Buffer buf(1 << 20);
+  for (MsgId id = 10; id < 15; ++id) buf.insert(stored(id));
+  MsgId expected = 10;
+  for (const auto& sm : buf.messages()) {
+    EXPECT_EQ(sm.msg.id, expected++);
+  }
+}
+
+TEST(Buffer, FindPointerAllowsInPlaceUpdate) {
+  Buffer buf(1 << 20);
+  buf.insert(stored(1, 25, 0.0, 10));
+  StoredMessage* sm = buf.find(1);
+  ASSERT_NE(sm, nullptr);
+  sm->replicas -= 4;
+  EXPECT_EQ(buf.find(1)->replicas, 6);
+}
+
+TEST(Buffer, ExpiredIds) {
+  Buffer buf(1 << 20);
+  StoredMessage a = stored(1);
+  a.msg.created = 0.0;
+  a.msg.ttl = 100.0;
+  StoredMessage b = stored(2);
+  b.msg.created = 0.0;
+  b.msg.ttl = 1000.0;
+  buf.insert(a);
+  buf.insert(b);
+  EXPECT_TRUE(buf.expired_ids(50.0).empty());
+  EXPECT_EQ(buf.expired_ids(100.0), (std::vector<MsgId>{1}));
+  EXPECT_EQ(buf.expired_ids(2000.0).size(), 2u);
+}
+
+TEST(Buffer, EmptyState) {
+  Buffer buf(1024);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.count(), 0u);
+  EXPECT_EQ(buf.find(1), nullptr);
+  const Buffer& cref = buf;
+  EXPECT_EQ(cref.find(1), nullptr);
+}
+
+}  // namespace
+}  // namespace dtn::sim

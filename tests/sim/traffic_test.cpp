@@ -1,0 +1,103 @@
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace dtn::sim {
+namespace {
+
+TrafficParams params(double lo = 25.0, double hi = 35.0) {
+  TrafficParams p;
+  p.interval_min = lo;
+  p.interval_max = hi;
+  p.ttl = 1200.0;
+  p.size_bytes = 25 * 1024;
+  return p;
+}
+
+TEST(Traffic, IntervalsWithinBounds) {
+  TrafficGenerator gen(params(), util::Pcg32(1, 1), 10);
+  double prev = 0.0;
+  for (MsgId id = 0; id < 200; ++id) {
+    const double t = gen.next_time();
+    EXPECT_GE(t - prev, 25.0 - 1e-9);
+    EXPECT_LE(t - prev, 35.0 + 1e-9);
+    const Message m = gen.pop(id);
+    EXPECT_DOUBLE_EQ(m.created, t);
+    prev = t;
+  }
+}
+
+TEST(Traffic, SrcAndDstDistinctAndInRange) {
+  TrafficGenerator gen(params(), util::Pcg32(2, 2), 7);
+  for (MsgId id = 0; id < 500; ++id) {
+    const Message m = gen.pop(id);
+    EXPECT_NE(m.src, m.dst);
+    EXPECT_GE(m.src, 0);
+    EXPECT_LT(m.src, 7);
+    EXPECT_GE(m.dst, 0);
+    EXPECT_LT(m.dst, 7);
+  }
+}
+
+TEST(Traffic, AllPairsEventuallyDrawn) {
+  TrafficGenerator gen(params(), util::Pcg32(3, 3), 4);
+  std::set<std::pair<NodeIdx, NodeIdx>> seen;
+  for (MsgId id = 0; id < 2000; ++id) {
+    const Message m = gen.pop(id);
+    seen.insert({m.src, m.dst});
+  }
+  EXPECT_EQ(seen.size(), 12u);  // 4 * 3 ordered pairs
+}
+
+TEST(Traffic, StopsAtStopTime) {
+  TrafficParams p = params();
+  p.stop = 100.0;
+  TrafficGenerator gen(p, util::Pcg32(4, 4), 10);
+  int generated = 0;
+  while (!std::isinf(gen.next_time())) {
+    EXPECT_LE(gen.next_time(), 100.0);
+    gen.pop(generated++);
+  }
+  EXPECT_GT(generated, 0);
+  EXPECT_LE(generated, 4);  // at most floor(100 / 25) messages
+}
+
+TEST(Traffic, StartDelaysFirstMessage) {
+  TrafficParams p = params();
+  p.start = 500.0;
+  TrafficGenerator gen(p, util::Pcg32(5, 5), 10);
+  EXPECT_GE(gen.next_time(), 525.0 - 1e-9);
+}
+
+TEST(Traffic, FewerThanTwoNodesGeneratesNothing) {
+  TrafficGenerator gen(params(), util::Pcg32(6, 6), 1);
+  EXPECT_TRUE(std::isinf(gen.next_time()));
+}
+
+TEST(Traffic, MessageCarriesConfiguredSizeAndTtl) {
+  TrafficParams p = params();
+  p.size_bytes = 10 * 1024;
+  p.ttl = 600.0;
+  TrafficGenerator gen(p, util::Pcg32(7, 7), 5);
+  const Message m = gen.pop(0);
+  EXPECT_EQ(m.size_bytes, 10 * 1024);
+  EXPECT_DOUBLE_EQ(m.ttl, 600.0);
+}
+
+TEST(Traffic, DeterministicForSameStream) {
+  TrafficGenerator a(params(), util::Pcg32(8, 8), 20);
+  TrafficGenerator b(params(), util::Pcg32(8, 8), 20);
+  for (MsgId id = 0; id < 100; ++id) {
+    const Message ma = a.pop(id);
+    const Message mb = b.pop(id);
+    EXPECT_DOUBLE_EQ(ma.created, mb.created);
+    EXPECT_EQ(ma.src, mb.src);
+    EXPECT_EQ(ma.dst, mb.dst);
+  }
+}
+
+}  // namespace
+}  // namespace dtn::sim

@@ -1,0 +1,169 @@
+// Edge cases of the simulation kernel beyond the basic world_test coverage:
+// three-way contacts, churn, router-driven eviction, and metric accounting
+// under stress.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_support.hpp"
+#include "sim/world.hpp"
+
+namespace dtn::sim {
+namespace {
+
+using test::RecordingRouter;
+using test::make_message;
+using test::pinned;
+using test::scripted;
+using test::test_world_config;
+
+TEST(WorldEdge, TriangleContactsAllPairsUp) {
+  World world(test_world_config());
+  std::vector<RecordingRouter*> routers;
+  for (int i = 0; i < 3; ++i) {
+    auto r = std::make_unique<RecordingRouter>();
+    routers.push_back(r.get());
+    world.add_node(pinned({i * 6.0, 0.0}), std::move(r));
+  }
+  world.step();
+  // 0-1 and 1-2 in range (6 m), 0-2 also in range (12 m > 10 m? no).
+  EXPECT_TRUE(world.in_contact(0, 1));
+  EXPECT_TRUE(world.in_contact(1, 2));
+  EXPECT_FALSE(world.in_contact(0, 2));
+  EXPECT_EQ(routers[1]->contacts_up.size(), 2u);
+}
+
+TEST(WorldEdge, RapidChurnCountsEachContactEvent) {
+  World world(test_world_config());
+  auto r0 = std::make_unique<RecordingRouter>();
+  RecordingRouter* router0 = r0.get();
+  world.add_node(pinned({0.0, 0.0}), std::move(r0));
+  // Node oscillates in/out of range 3 times.
+  std::vector<std::pair<double, geo::Vec2>> kf;
+  for (int k = 0; k < 3; ++k) {
+    kf.push_back({k * 20.0, {5.0, 0.0}});
+    kf.push_back({k * 20.0 + 8.0, {5.0, 0.0}});
+    kf.push_back({k * 20.0 + 10.0, {50.0, 0.0}});
+    kf.push_back({k * 20.0 + 18.0, {50.0, 0.0}});
+  }
+  world.add_node(scripted(std::move(kf)), std::make_unique<RecordingRouter>());
+  world.run(60.0);
+  EXPECT_EQ(world.contact_events(), 3);
+  EXPECT_EQ(router0->contacts_up.size(), 3u);
+  EXPECT_GE(router0->contacts_down.size(), 2u);
+}
+
+TEST(WorldEdge, SelfMessageNeverCreated) {
+  // The traffic generator never picks src == dst; injecting one manually is
+  // the caller's responsibility, but the kernel must not crash on it.
+  World world(test_world_config());
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<RecordingRouter>());
+  world.add_node(pinned({500.0, 0.0}), std::make_unique<RecordingRouter>());
+  Message m = make_message(0, 0, 0);
+  world.inject_message(m);
+  world.run(1.0);
+  EXPECT_EQ(world.metrics().created(), 1);
+  EXPECT_EQ(world.metrics().delivered(), 0);  // no self-delivery shortcut
+}
+
+TEST(WorldEdge, EvictionConsultsOwnerRouter) {
+  // A router whose drop victim is always the NEWEST message (instead of the
+  // default oldest) must be honored by make_room.
+  class DropNewestRouter final : public Router {
+   public:
+    [[nodiscard]] std::string name() const override { return "DropNewest"; }
+    [[nodiscard]] MsgId choose_drop_victim(const Buffer& buffer) const override {
+      return buffer.messages().back().msg.id;
+    }
+  };
+  WorldConfig config = test_world_config();
+  config.buffer_bytes = 60 * 1024;  // two 25 KB messages
+  World world(config);
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<DropNewestRouter>());
+  world.add_node(pinned({500.0, 0.0}), std::make_unique<RecordingRouter>());
+  world.inject_message(make_message(0, 0, 1));
+  world.inject_message(make_message(1, 0, 1));
+  world.inject_message(make_message(2, 0, 1));
+  // Victim = newest stored (1), then 2 is admitted.
+  EXPECT_TRUE(world.buffer_of(0).has(0));
+  EXPECT_FALSE(world.buffer_of(0).has(1));
+  EXPECT_TRUE(world.buffer_of(0).has(2));
+}
+
+TEST(WorldEdge, ZeroTtlMessageExpiresImmediately) {
+  World world(test_world_config());
+  auto r0 = std::make_unique<RecordingRouter>();
+  RecordingRouter* router0 = r0.get();
+  world.add_node(pinned({0.0, 0.0}), std::move(r0));
+  world.add_node(pinned({5.0, 0.0}), std::make_unique<RecordingRouter>());
+  world.step();
+  world.inject_message(make_message(0, 0, 1, /*created=*/0.0, /*ttl=*/0.0));
+  EXPECT_FALSE(router0->send_copy(1, 0, 1, 0));  // refused: already expired
+  world.run(1.0);
+  EXPECT_EQ(world.metrics().delivered(), 0);
+}
+
+TEST(WorldEdge, ManyNodesNoContactsIsStable) {
+  World world(test_world_config());
+  for (int i = 0; i < 50; ++i) {
+    world.add_node(pinned({i * 100.0, 0.0}), std::make_unique<RecordingRouter>());
+  }
+  TrafficParams traffic;
+  traffic.interval_min = traffic.interval_max = 5.0;
+  world.set_traffic(traffic);
+  world.run(200.0);
+  EXPECT_EQ(world.contact_events(), 0);
+  EXPECT_GT(world.metrics().created(), 0);
+  EXPECT_EQ(world.metrics().delivered(), 0);
+  EXPECT_EQ(world.metrics().relayed(), 0);
+}
+
+TEST(WorldEdge, ReusedMessageIdRefusedBySecondInsert) {
+  // Buffer::insert asserts uniqueness; the kernel path that could hit it
+  // (duplicate arrival) merges replicas instead. Verify the merge branch
+  // fires when the same id is sent over two distinct connections.
+  World world(test_world_config());
+  auto r0 = std::make_unique<RecordingRouter>(10);
+  auto r1 = std::make_unique<RecordingRouter>(10);
+  RecordingRouter* router0 = r0.get();
+  RecordingRouter* router1 = r1.get();
+  world.add_node(pinned({0.0, 0.0}), std::move(r0));
+  world.add_node(pinned({9.0, 0.0}), std::move(r1));
+  world.add_node(pinned({4.5, 5.0}), std::make_unique<RecordingRouter>());
+  world.add_node(pinned({5000.0, 0.0}), std::make_unique<RecordingRouter>());
+  world.step();
+  // Node 2 is in range of both 0 and 1. Give both a share of message 0,
+  // then have both forward to node 2.
+  world.inject_message(make_message(0, 0, 3));
+  ASSERT_TRUE(router0->send_copy(1, 0, 4, 4));
+  world.run(1.0);
+  ASSERT_TRUE(router0->send_copy(2, 0, 2, 2));
+  ASSERT_TRUE(router1->send_copy(2, 0, 3, 3));
+  world.run(1.0);
+  ASSERT_TRUE(world.buffer_of(2).has(0));
+  EXPECT_EQ(world.buffer_of(2).find(0)->replicas, 5);  // 2 + 3 merged
+}
+
+TEST(WorldEdge, MetricsLatencyWithinTtlUnderChurn) {
+  WorldConfig config = test_world_config();
+  World world(config);
+  auto r0 = std::make_unique<RecordingRouter>();
+  RecordingRouter* router0 = r0.get();
+  world.add_node(pinned({0.0, 0.0}), std::move(r0));
+  // Peer arrives late; delivery latency is dominated by the waiting time.
+  world.add_node(scripted({{0.0, {100.0, 0.0}}, {50.0, {100.0, 0.0}},
+                           {60.0, {5.0, 0.0}}, {200.0, {5.0, 0.0}}}),
+                 std::make_unique<RecordingRouter>());
+  world.run(1.0);
+  world.inject_message(make_message(0, 0, 1, /*created=*/1.0, /*ttl=*/1200.0));
+  world.run(70.0);
+  ASSERT_TRUE(world.in_contact(0, 1));
+  ASSERT_TRUE(router0->send_copy(1, 0, 1, 0));
+  world.run(5.0);
+  ASSERT_EQ(world.metrics().delivered(), 1);
+  EXPECT_GT(world.metrics().latency_mean(), 55.0);
+  EXPECT_LT(world.metrics().latency_mean(), 80.0);
+}
+
+}  // namespace
+}  // namespace dtn::sim

@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dtn::util {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(StatAccumulator, SingleValue) {
+  StatAccumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(StatAccumulator, KnownMoments) {
+  StatAccumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatAccumulator, MergeMatchesSequential) {
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) data.push_back(std::sin(i) * 10.0 + i);
+  StatAccumulator whole;
+  StatAccumulator left;
+  StatAccumulator right;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    whole.add(data[i]);
+    (i < 37 ? left : right).add(data[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(StatAccumulator, MergeWithEmptySides) {
+  StatAccumulator a;
+  StatAccumulator b;
+  a.add(1.0);
+  a.add(3.0);
+  StatAccumulator a_copy = a;
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs: adopt rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(StatAccumulator, ResetClears) {
+  StatAccumulator acc;
+  acc.add(42.0);
+  acc.reset();
+  EXPECT_TRUE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(StatAccumulator, NumericallyStableLargeOffset) {
+  // Welford should keep precision with a large constant offset.
+  StatAccumulator acc;
+  const double offset = 1e9;
+  for (const double v : {1.0, 2.0, 3.0}) acc.add(offset + v);
+  EXPECT_NEAR(acc.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(15.0);   // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 100.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 25.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 75.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 100.0);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add((i + 0.5) / 1000.0);
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileEmpty) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(Histogram, ZeroBinRequestsGetOne) {
+  Histogram h(0.0, 1.0, 0);
+  EXPECT_EQ(h.bins(), 1u);
+  h.add(0.5);
+  EXPECT_EQ(h.bin_count(0), 1u);
+}
+
+}  // namespace
+}  // namespace dtn::util

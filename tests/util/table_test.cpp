@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dtn::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.new_row().add_cell(std::string("alpha")).add_cell(0.28, 2);
+  t.new_row().add_cell(std::string("lambda")).add_cell(static_cast<long long>(10));
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("0.28"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, AddCellWithoutRowStartsOne) {
+  TablePrinter t({"a"});
+  t.add_cell(std::string("x"));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TablePrinter, ColumnsAligned) {
+  TablePrinter t({"p", "q"});
+  t.new_row().add_cell(std::string("longvalue")).add_cell(std::string("1"));
+  t.new_row().add_cell(std::string("s")).add_cell(std::string("2"));
+  std::istringstream lines(t.to_string());
+  std::string header;
+  std::string rule;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  // The second column starts at the same offset in both rows.
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 4), "1.0000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(CsvWriter, EscapesSpecialCells) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/dtn_csv_test.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.write_row({"h1", "h2"});
+    w.write_row({"1", "a,b"});
+    EXPECT_TRUE(w.ok());
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "h1,h2");
+  EXPECT_EQ(line2, "1,\"a,b\"");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dtn::util
