@@ -8,8 +8,7 @@ namespace dtn::core {
 
 double PairHistory::average_interval() const {
   if (intervals.empty()) return 0.0;
-  const double sum = std::accumulate(intervals.begin(), intervals.end(), 0.0);
-  return sum / static_cast<double>(intervals.size());
+  return interval_sum_ / static_cast<double>(intervals.size());
 }
 
 const std::vector<double>& PairHistory::sorted_intervals() const {
@@ -30,7 +29,16 @@ void ContactHistory::record_contact(NodeIdx peer, double t) {
     const double interval = t - ph.last_contact;
     if (interval > 0.0) {
       ph.intervals.push_back(interval);
-      if (ph.intervals.size() > capacity_) ph.intervals.pop_front();
+      // Appending extends the left fold exactly (sum' = sum + x), so the
+      // running sum stays bit-identical to accumulating the whole window.
+      ph.interval_sum_ += interval;
+      if (ph.intervals.size() > capacity_) {
+        ph.intervals.pop_front();
+        // Evicting the oldest breaks the fold; re-accumulate the (small,
+        // bounded) window so rounding never drifts from the exact sum.
+        ph.interval_sum_ =
+            std::accumulate(ph.intervals.begin(), ph.intervals.end(), 0.0);
+      }
       ph.last_contact = t;
       ph.cache_dirty_ = true;
     }

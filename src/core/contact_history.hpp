@@ -19,6 +19,8 @@ struct PairHistory {
   bool met = false;              ///< at least one contact recorded
 
   /// Average meeting interval I_ij = (1/r) Σ Δt_k; 0 when no intervals yet.
+  /// O(1): a running sum is maintained as intervals enter and leave the
+  /// window instead of re-accumulating on every estimator call.
   [[nodiscard]] double average_interval() const;
   [[nodiscard]] std::size_t count() const noexcept { return intervals.size(); }
 
@@ -29,6 +31,7 @@ struct PairHistory {
 
  private:
   friend class ContactHistory;
+  double interval_sum_ = 0.0;  ///< running Σ Δt_k over the window
   mutable std::vector<double> sorted_cache_;
   mutable bool cache_dirty_ = true;
 };

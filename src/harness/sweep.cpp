@@ -1,7 +1,9 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <map>
 #include <mutex>
+#include <utility>
 
 #include "util/thread_pool.hpp"
 
@@ -82,9 +84,12 @@ double metric_value(const PointResult& point, Metric metric) {
 
 util::TablePrinter metric_table(const std::vector<PointResult>& results,
                                 Metric metric, int precision) {
-  // Column per protocol, row per node count, both in first-seen order.
+  // Column per protocol, row per node count, both in first-seen order. A
+  // (protocol, nodes) -> result map built once replaces the former
+  // O(results^2) linear re-scan per cell.
   std::vector<std::string> protocols;
   std::vector<int> node_counts;
+  std::map<std::pair<std::string, int>, const PointResult*> by_key;
   for (const auto& p : results) {
     if (std::find(protocols.begin(), protocols.end(), p.protocol) == protocols.end()) {
       protocols.push_back(p.protocol);
@@ -93,6 +98,7 @@ util::TablePrinter metric_table(const std::vector<PointResult>& results,
         node_counts.end()) {
       node_counts.push_back(p.node_count);
     }
+    by_key.emplace(std::make_pair(p.protocol, p.node_count), &p);  // keeps first
   }
   std::vector<std::string> headers{"nodes"};
   for (const auto& proto : protocols) headers.push_back(proto);
@@ -100,14 +106,11 @@ util::TablePrinter metric_table(const std::vector<PointResult>& results,
   for (const int n : node_counts) {
     table.new_row().add_cell(static_cast<long long>(n));
     for (const auto& proto : protocols) {
-      const auto it = std::find_if(results.begin(), results.end(),
-                                   [&](const PointResult& p) {
-                                     return p.protocol == proto && p.node_count == n;
-                                   });
-      if (it == results.end()) {
+      const auto it = by_key.find({proto, n});
+      if (it == by_key.end()) {
         table.add_cell(std::string("-"));
       } else {
-        table.add_cell(metric_value(*it, metric), precision);
+        table.add_cell(metric_value(*it->second, metric), precision);
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "core/dijkstra.hpp"
 #include "core/estimators.hpp"
@@ -126,7 +127,8 @@ void CrRouter::on_message_created(const sim::Message& m) {
   ensure_state();
   const sim::StoredMessage* sm = buffer().find(m.id);
   if (sm == nullptr) return;
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     auto* peer_router = dynamic_cast<CrRouter*>(&world().router_of(peer));
     route_one(*sm, peer, peer_router, now());
   }
@@ -135,7 +137,8 @@ void CrRouter::on_message_created(const sim::Message& m) {
 void CrRouter::on_message_received(const sim::StoredMessage& sm,
                                    sim::NodeIdx /*from*/) {
   ensure_state();
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     auto* peer_router = dynamic_cast<CrRouter*>(&world().router_of(peer));
     route_one(sm, peer, peer_router, now());
   }

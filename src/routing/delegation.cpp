@@ -1,6 +1,7 @@
 #include "routing/delegation.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "sim/world.hpp"
 
@@ -52,12 +53,14 @@ void DelegationRouter::on_contact_up(sim::NodeIdx peer) {
 void DelegationRouter::on_message_created(const sim::Message& m) {
   const sim::StoredMessage* sm = buffer().find(m.id);
   if (sm == nullptr) return;
-  for (const sim::NodeIdx peer : contacts()) route_one(*sm, peer);
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) route_one(*sm, peer);
 }
 
 void DelegationRouter::on_message_received(const sim::StoredMessage& sm,
                                            sim::NodeIdx /*from*/) {
-  for (const sim::NodeIdx peer : contacts()) route_one(sm, peer);
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) route_one(sm, peer);
 }
 
 }  // namespace dtn::routing

@@ -1,5 +1,7 @@
 #include "routing/direct_delivery.hpp"
 
+#include <vector>
+
 #include "sim/world.hpp"
 
 namespace dtn::routing {
@@ -14,7 +16,8 @@ void DirectDeliveryRouter::on_contact_up(sim::NodeIdx peer) {
 }
 
 void DirectDeliveryRouter::on_message_created(const sim::Message& m) {
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     if (m.dst == peer) send_copy(peer, m.id, 1, 0);
   }
 }

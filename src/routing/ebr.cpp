@@ -1,6 +1,7 @@
 #include "routing/ebr.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "sim/world.hpp"
 
@@ -28,7 +29,8 @@ void EbrRouter::on_contact_up(sim::NodeIdx peer) {
 void EbrRouter::on_message_created(const sim::Message& m) {
   const sim::StoredMessage* sm = buffer().find(m.id);
   if (sm == nullptr) return;
-  for (const sim::NodeIdx peer : contacts()) try_route(*sm, peer);
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) try_route(*sm, peer);
 }
 
 void EbrRouter::try_route(const sim::StoredMessage& sm, sim::NodeIdx peer) {

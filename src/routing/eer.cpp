@@ -1,6 +1,7 @@
 #include "routing/eer.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "core/estimators.hpp"
 #include "sim/world.hpp"
@@ -112,7 +113,8 @@ void EerRouter::on_message_created(const sim::Message& m) {
   if (sm == nullptr) return;
   // A message born during an active contact is routed immediately; the
   // contact-up exchange already happened when the link formed.
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     auto* peer_router = dynamic_cast<EerRouter*>(&world().router_of(peer));
     route_one(*sm, peer, peer_router, now());
   }
@@ -123,7 +125,8 @@ void EerRouter::on_message_received(const sim::StoredMessage& sm,
   ensure_state();
   // Keep distributing along other active contacts (peer_has() filters the
   // sender and any node already scheduled to receive it).
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     auto* peer_router = dynamic_cast<EerRouter*>(&world().router_of(peer));
     route_one(sm, peer, peer_router, now());
   }

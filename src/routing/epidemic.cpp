@@ -1,5 +1,7 @@
 #include "routing/epidemic.hpp"
 
+#include <vector>
+
 #include "sim/world.hpp"
 
 namespace dtn::routing {
@@ -32,7 +34,8 @@ void EpidemicRouter::push_all_to(sim::NodeIdx peer) {
 
 void EpidemicRouter::push_one(const sim::StoredMessage& sm) {
   if (sm.msg.expired_at(now())) return;
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     if (sm.msg.dst == peer || !peer_has(peer, sm.msg.id)) {
       send_copy(peer, sm.msg.id, 1, 0);
     }

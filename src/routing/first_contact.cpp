@@ -1,5 +1,7 @@
 #include "routing/first_contact.hpp"
 
+#include <vector>
+
 #include "sim/world.hpp"
 
 namespace dtn::routing {
@@ -21,7 +23,8 @@ void FirstContactRouter::on_contact_up(sim::NodeIdx peer) {
 void FirstContactRouter::on_message_created(const sim::Message& m) {
   const sim::StoredMessage* sm = buffer().find(m.id);
   if (sm == nullptr) return;
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     route_one(*sm, peer);
     if (!buffer().has(m.id)) break;  // copy already queued away
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "core/dijkstra.hpp"
 #include "sim/world.hpp"
@@ -136,7 +137,8 @@ void MaxPropRouter::push_messages(sim::NodeIdx peer) {
 void MaxPropRouter::on_message_created(const sim::Message& m) {
   const sim::StoredMessage* sm = buffer().find(m.id);
   if (sm == nullptr) return;
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     if (m.dst == peer || !peer_has(peer, m.id)) send_copy(peer, m.id, 1, 0);
   }
 }
@@ -147,7 +149,8 @@ void MaxPropRouter::on_message_received(const sim::StoredMessage& sm,
     buffer().erase(sm.msg.id);
     return;
   }
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     if (peer == from) continue;
     if (sm.msg.dst == peer || !peer_has(peer, sm.msg.id)) {
       send_copy(peer, sm.msg.id, 1, 0);

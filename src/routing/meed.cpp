@@ -1,5 +1,7 @@
 #include "routing/meed.hpp"
 
+#include <vector>
+
 #include "core/dijkstra.hpp"
 #include "sim/world.hpp"
 
@@ -66,7 +68,8 @@ void MeedRouter::on_message_created(const sim::Message& m) {
   ensure_state();
   const sim::StoredMessage* sm = buffer().find(m.id);
   if (sm == nullptr) return;
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     auto* peer_router = dynamic_cast<MeedRouter*>(&world().router_of(peer));
     route_one(*sm, peer, peer_router);
   }

@@ -1,6 +1,7 @@
 #include "routing/prophet.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "sim/world.hpp"
 
@@ -64,7 +65,8 @@ void ProphetRouter::on_contact_up(sim::NodeIdx peer) {
 }
 
 void ProphetRouter::on_message_created(const sim::Message& m) {
-  for (const sim::NodeIdx peer : contacts()) {
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) {
     if (m.dst == peer) {
       send_copy(peer, m.id, 1, 0);
       continue;

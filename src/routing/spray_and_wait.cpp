@@ -1,5 +1,7 @@
 #include "routing/spray_and_wait.hpp"
 
+#include <vector>
+
 #include "sim/world.hpp"
 
 namespace dtn::routing {
@@ -31,7 +33,8 @@ void SprayAndWaitRouter::on_contact_up(sim::NodeIdx peer) {
 void SprayAndWaitRouter::on_message_created(const sim::Message& m) {
   const sim::StoredMessage* sm = buffer().find(m.id);
   if (sm == nullptr) return;
-  for (const sim::NodeIdx peer : contacts()) try_spray(*sm, peer);
+  const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
+  for (const sim::NodeIdx peer : peers) try_spray(*sm, peer);
 }
 
 }  // namespace dtn::routing

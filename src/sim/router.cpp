@@ -27,7 +27,9 @@ bool Router::peer_has(NodeIdx peer, MsgId id) const {
   return world_->peer_has(peer, id);
 }
 
-std::vector<NodeIdx> Router::contacts() const { return world_->contacts_of(self_); }
+const std::vector<NodeIdx>& Router::contacts() const {
+  return world_->neighbors_of(self_);
+}
 
 void Router::charge_control_bytes(std::int64_t bytes) {
   world_->metrics().add_control_bytes(bytes);

@@ -79,8 +79,13 @@ class Router {
   bool send_copy(NodeIdx peer, MsgId id, int r_recv, int r_deduct);
   /// True if `peer` stores the message or is already scheduled to get it.
   [[nodiscard]] bool peer_has(NodeIdx peer, MsgId id) const;
-  /// Peers currently in contact with this node.
-  [[nodiscard]] std::vector<NodeIdx> contacts() const;
+  /// Peers currently in contact with this node, ascending. Zero-copy view
+  /// of the World's adjacency index; valid for the whole callback (contact
+  /// churn only happens between router callbacks) and not invalidated by
+  /// send_copy() / peer_has(). With WorldConfig::legacy_contact_path (the
+  /// bench baseline) the view is a shared scratch that the next contacts()
+  /// call overwrites — do not nest calls in that mode.
+  [[nodiscard]] const std::vector<NodeIdx>& contacts() const;
   /// Charges protocol control traffic (routing-table exchange) to metrics.
   void charge_control_bytes(std::int64_t bytes);
   [[nodiscard]] util::Pcg32& rng();

@@ -20,6 +20,7 @@ NodeIdx World::add_node(mobility::MovementModelPtr movement,
   auto rng = util::derive_stream(config_.seed, static_cast<std::uint64_t>(idx),
                                  util::StreamPurpose::kRouting);
   nodes_.emplace_back(std::move(movement), std::move(router), config_.buffer_bytes, rng);
+  adjacency_.emplace_back();
   inbound_queued_.emplace_back();
   Node& node = nodes_.back();
   node.router->attach(this, idx);
@@ -39,7 +40,7 @@ void World::set_traffic(const TrafficParams& params) {
 std::uint64_t World::pair_key(NodeIdx a, NodeIdx b) noexcept {
   const auto lo = static_cast<std::uint64_t>(std::min(a, b));
   const auto hi = static_cast<std::uint64_t>(std::max(a, b));
-  return (hi << 32) | lo;
+  return (lo << 32) | hi;
 }
 
 Buffer& World::buffer_of(NodeIdx node) {
@@ -66,20 +67,35 @@ util::Pcg32& World::routing_rng(NodeIdx node) {
   return nodes_.at(static_cast<std::size_t>(node)).routing_rng;
 }
 
+std::uint32_t World::slot_of(NodeIdx a, NodeIdx b) const noexcept {
+  if (a < 0 || static_cast<std::size_t>(a) >= adjacency_.size()) return kNoSlot;
+  const Adjacency& adj = adjacency_[static_cast<std::size_t>(a)];
+  const auto it = std::lower_bound(adj.peers.begin(), adj.peers.end(), b);
+  if (it == adj.peers.end() || *it != b) return kNoSlot;
+  return adj.slots[static_cast<std::size_t>(it - adj.peers.begin())];
+}
+
 bool World::in_contact(NodeIdx a, NodeIdx b) const {
-  return connections_.count(pair_key(a, b)) > 0;
+  return slot_of(a, b) != kNoSlot;
+}
+
+const std::vector<NodeIdx>& World::neighbors_of(NodeIdx node) const {
+  if (config_.legacy_contact_path) {
+    // Seed cost profile: scan every active connection, then sort.
+    legacy_contacts_scratch_.clear();
+    for (const Connection& conn : conn_pool_) {
+      if (!conn.alive) continue;
+      if (conn.a == node) legacy_contacts_scratch_.push_back(conn.b);
+      else if (conn.b == node) legacy_contacts_scratch_.push_back(conn.a);
+    }
+    std::sort(legacy_contacts_scratch_.begin(), legacy_contacts_scratch_.end());
+    return legacy_contacts_scratch_;
+  }
+  return adjacency_.at(static_cast<std::size_t>(node)).peers;
 }
 
 std::vector<NodeIdx> World::contacts_of(NodeIdx node) const {
-  std::vector<NodeIdx> result;
-  for (const auto& [key, conn] : connections_) {
-    const auto lo = static_cast<NodeIdx>(key & 0xffffffffu);
-    const auto hi = static_cast<NodeIdx>(key >> 32);
-    if (lo == node) result.push_back(hi);
-    else if (hi == node) result.push_back(lo);
-  }
-  std::sort(result.begin(), result.end());
-  return result;
+  return neighbors_of(node);
 }
 
 bool World::peer_has(NodeIdx peer, MsgId id) const {
@@ -93,13 +109,14 @@ bool World::peer_has(NodeIdx peer, MsgId id) const {
 bool World::enqueue_transfer(NodeIdx from, NodeIdx to, MsgId id, int r_recv,
                              int r_deduct) {
   if (from == to || r_recv <= 0 || r_deduct < 0) return false;
-  const auto it = connections_.find(pair_key(from, to));
-  if (it == connections_.end()) return false;  // not in contact
+  const std::uint32_t slot = slot_of(from, to);
+  if (slot == kNoSlot) return false;  // not in contact
   const StoredMessage* sm = buffer_of(from).find(id);
   if (sm == nullptr || sm->msg.expired_at(now_)) return false;
   if (r_deduct > sm->replicas) return false;
+  Connection& conn = conn_pool_[slot];
   // Refuse duplicates already queued on this connection toward `to`.
-  for (const auto& tr : it->second.queue) {
+  for (const Transfer& tr : conn.queue) {
     if (tr.msg.id == id && tr.to == to) return false;
   }
   Transfer tr;
@@ -109,9 +126,28 @@ bool World::enqueue_transfer(NodeIdx from, NodeIdx to, MsgId id, int r_recv,
   tr.r_recv = r_recv;
   tr.r_deduct = r_deduct;
   tr.bytes_left = static_cast<double>(sm->msg.size_bytes);
-  it->second.queue.push_back(tr);
+  conn.queue.push_back(tr);
+  activate(slot);
   inbound_queued_[static_cast<std::size_t>(to)].insert(id);
   return true;
+}
+
+void World::activate(std::uint32_t slot) {
+  Connection& conn = conn_pool_[slot];
+  if (conn.active_idx == kNoSlot) {
+    conn.active_idx = static_cast<std::uint32_t>(active_slots_.size());
+    active_slots_.push_back(slot);
+  }
+}
+
+void World::deactivate(std::uint32_t slot) {
+  Connection& conn = conn_pool_[slot];
+  if (conn.active_idx == kNoSlot) return;
+  const std::uint32_t last = active_slots_.back();
+  active_slots_[conn.active_idx] = last;
+  conn_pool_[last].active_idx = conn.active_idx;
+  active_slots_.pop_back();
+  conn.active_idx = kNoSlot;
 }
 
 void World::unindex_inbound(const Transfer& tr) {
@@ -168,7 +204,11 @@ void World::step() {
   now_ += config_.step_dt;
   ++step_count_;
   move_nodes();
-  detect_contacts();
+  if (config_.legacy_contact_path) {
+    detect_contacts_legacy();
+  } else {
+    detect_contacts();
+  }
   generate_traffic();
   progress_transfers();
   if (now_ >= next_sweep_) {
@@ -186,7 +226,108 @@ void World::move_nodes() {
   }
 }
 
+void World::link_up(NodeIdx a, NodeIdx b) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(conn_pool_.size());
+    conn_pool_.emplace_back();
+  }
+  Connection& conn = conn_pool_[slot];
+  conn.a = std::min(a, b);
+  conn.b = std::max(a, b);
+  conn.alive = true;
+  assert(conn.active_idx == kNoSlot && conn.queue.empty());
+  for (const auto& [self, peer] : {std::pair{a, b}, std::pair{b, a}}) {
+    Adjacency& adj = adjacency_[static_cast<std::size_t>(self)];
+    const auto it = std::lower_bound(adj.peers.begin(), adj.peers.end(), peer);
+    const auto at = it - adj.peers.begin();
+    adj.peers.insert(it, peer);
+    adj.slots.insert(adj.slots.begin() + at, slot);
+  }
+  ++live_connections_;
+  ++contact_events_;
+  nodes_[static_cast<std::size_t>(a)].router->on_contact_up(b);
+  nodes_[static_cast<std::size_t>(b)].router->on_contact_up(a);
+}
+
+void World::link_down(NodeIdx a, NodeIdx b) {
+  const std::uint32_t slot = slot_of(a, b);
+  assert(slot != kNoSlot);
+  Connection& conn = conn_pool_[slot];
+  abort_connection_queue(conn);
+  deactivate(slot);
+  for (const auto& [self, peer] : {std::pair{a, b}, std::pair{b, a}}) {
+    Adjacency& adj = adjacency_[static_cast<std::size_t>(self)];
+    const auto it = std::lower_bound(adj.peers.begin(), adj.peers.end(), peer);
+    const auto at = it - adj.peers.begin();
+    adj.peers.erase(it);
+    adj.slots.erase(adj.slots.begin() + at);
+  }
+  conn.alive = false;
+  conn.a = conn.b = -1;
+  free_slots_.push_back(slot);
+  --live_connections_;
+  nodes_[static_cast<std::size_t>(std::min(a, b))].router->on_contact_down(std::max(a, b));
+  nodes_[static_cast<std::size_t>(std::max(a, b))].router->on_contact_down(std::min(a, b));
+}
+
+void World::sort_pair_keys(std::vector<std::uint64_t>& keys) {
+  // Two-pass counting sort: each half of a pair key is a node id smaller
+  // than node_count, so it fits a single digit. O(pairs + nodes) per step
+  // and allocation-free after warm-up, unlike a comparison sort.
+  std::size_t buckets = 1;
+  while (buckets < nodes_.size()) buckets <<= 1;
+  const std::uint64_t mask = buckets - 1;
+  radix_tmp_.resize(keys.size());
+  for (const int shift : {0, 32}) {  // LSD: hi half first, then lo half
+    radix_count_.assign(buckets + 1, 0);
+    for (const std::uint64_t k : keys) ++radix_count_[((k >> shift) & mask) + 1];
+    for (std::size_t b = 1; b <= buckets; ++b) radix_count_[b] += radix_count_[b - 1];
+    for (const std::uint64_t k : keys) radix_tmp_[radix_count_[(k >> shift) & mask]++] = k;
+    std::swap(keys, radix_tmp_);
+  }
+}
+
 void World::detect_contacts() {
+  // Incremental grid maintenance: only boundary crossings touch cells.
+  grid_.advance_epoch();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    grid_.update(static_cast<NodeIdx>(i), nodes_[i].pos);
+  }
+  grid_.all_pairs_into(config_.radio_range, pair_scratch_);
+  curr_pairs_.clear();
+  for (const auto& [a, b] : pair_scratch_) curr_pairs_.push_back(pair_key(a, b));
+  // Key order == ascending (a, b), so sorting reproduces the deterministic
+  // callback order the full-rescan path produced by sorting pairs.
+  sort_pair_keys(curr_pairs_);
+
+  // Link-down: in range last step, out of range now.
+  diff_scratch_.clear();
+  std::set_difference(prev_pairs_.begin(), prev_pairs_.end(), curr_pairs_.begin(),
+                      curr_pairs_.end(), std::back_inserter(diff_scratch_));
+  for (const std::uint64_t key : diff_scratch_) {
+    link_down(static_cast<NodeIdx>(key >> 32), static_cast<NodeIdx>(key & 0xffffffffu));
+  }
+
+  // Link-up: in range now, not last step.
+  diff_scratch_.clear();
+  std::set_difference(curr_pairs_.begin(), curr_pairs_.end(), prev_pairs_.begin(),
+                      prev_pairs_.end(), std::back_inserter(diff_scratch_));
+  for (const std::uint64_t key : diff_scratch_) {
+    link_up(static_cast<NodeIdx>(key >> 32), static_cast<NodeIdx>(key & 0xffffffffu));
+  }
+
+  std::swap(prev_pairs_, curr_pairs_);
+}
+
+void World::detect_contacts_legacy() {
+  // The seed algorithm: fresh pair vector, sort, fresh unordered_set, full
+  // scan of every connection — kept as the benchmark baseline. Link events
+  // are applied through the same link_up/link_down helpers in the same
+  // order as the incremental path, so both paths are behaviorally identical.
   grid_.clear();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     grid_.insert(static_cast<NodeIdx>(i), nodes_[i].pos);
@@ -198,33 +339,29 @@ void World::detect_contacts() {
   current.reserve(pairs.size() * 2);
   for (const auto& [a, b] : pairs) current.insert(pair_key(a, b));
 
-  // Link-down: connections whose endpoints moved out of range.
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if (current.count(it->first) == 0) {
-      abort_connection_queue(it->second);
-      const auto lo = static_cast<NodeIdx>(it->first & 0xffffffffu);
-      const auto hi = static_cast<NodeIdx>(it->first >> 32);
-      it = connections_.erase(it);
-      nodes_[static_cast<std::size_t>(lo)].router->on_contact_down(hi);
-      nodes_[static_cast<std::size_t>(hi)].router->on_contact_down(lo);
-    } else {
-      ++it;
+  std::vector<std::uint64_t> gone;
+  for (const Connection& conn : conn_pool_) {
+    if (conn.alive && current.count(pair_key(conn.a, conn.b)) == 0) {
+      gone.push_back(pair_key(conn.a, conn.b));
     }
   }
-
-  // Link-up: new pairs, in sorted order for determinism.
-  for (const auto& [a, b] : pairs) {
-    const auto key = pair_key(a, b);
-    if (connections_.count(key) > 0) continue;
-    connections_.emplace(key, Connection{});
-    ++contact_events_;
-    nodes_[static_cast<std::size_t>(a)].router->on_contact_up(b);
-    nodes_[static_cast<std::size_t>(b)].router->on_contact_up(a);
+  std::sort(gone.begin(), gone.end());
+  for (const std::uint64_t key : gone) {
+    link_down(static_cast<NodeIdx>(key >> 32), static_cast<NodeIdx>(key & 0xffffffffu));
   }
+
+  for (const auto& [a, b] : pairs) {
+    if (slot_of(a, b) != kNoSlot) continue;
+    link_up(a, b);
+  }
+
+  // Keep prev_pairs_ coherent (pairs are (a, b)-sorted, i.e. key-sorted).
+  prev_pairs_.clear();
+  for (const auto& [a, b] : pairs) prev_pairs_.push_back(pair_key(a, b));
 }
 
 void World::abort_connection_queue(Connection& conn) {
-  for (auto& tr : conn.queue) {
+  for (const Transfer& tr : conn.queue) {
     if (tr.started) metrics_.on_transfer_aborted();
     unindex_inbound(tr);
   }
@@ -233,7 +370,39 @@ void World::abort_connection_queue(Connection& conn) {
 
 void World::progress_transfers() {
   const double bytes_per_step = config_.bitrate_bps / 8.0 * config_.step_dt;
-  for (auto& [key, conn] : connections_) {
+  progress_scratch_.clear();
+  // Both paths snapshot the connections that have queued work when the
+  // phase starts (ascending pair key): transfers enqueued by completion
+  // callbacks during the phase first receive bandwidth next step. The legacy
+  // path pays the seed's cost — a scan over every live connection.
+  if (config_.legacy_contact_path) {
+    for (std::uint32_t slot = 0; slot < conn_pool_.size(); ++slot) {
+      const Connection& conn = conn_pool_[slot];
+      if (conn.alive && !conn.queue.empty()) {
+        progress_scratch_.emplace_back(pair_key(conn.a, conn.b), slot);
+      }
+    }
+  } else {
+    // Active-transfers index: only connections with queued work, compacting
+    // out the ones that drained since the last step.
+    for (const std::uint32_t slot : active_slots_) {
+      Connection& conn = conn_pool_[slot];
+      if (conn.queue.empty()) {
+        conn.active_idx = kNoSlot;
+        continue;
+      }
+      progress_scratch_.emplace_back(pair_key(conn.a, conn.b), slot);
+    }
+    active_slots_.clear();
+    for (const auto& [key, slot] : progress_scratch_) {
+      conn_pool_[slot].active_idx = static_cast<std::uint32_t>(active_slots_.size());
+      active_slots_.push_back(slot);
+    }
+  }
+  std::sort(progress_scratch_.begin(), progress_scratch_.end());
+
+  for (const auto& [key, slot] : progress_scratch_) {
+    Connection& conn = conn_pool_[slot];
     double budget = bytes_per_step;  // half-duplex: shared per connection
     while (budget > 0.0 && !conn.queue.empty()) {
       Transfer& tr = conn.queue.front();
@@ -272,7 +441,6 @@ void World::complete_transfer(Transfer& tr) {
   const bool within_ttl = !tr.msg.expired_at(now_);
 
   if (is_destination) {
-    const bool delivered = within_ttl && !metrics_.is_delivered(tr.msg.id);
     if (within_ttl) {
       metrics_.on_delivered(tr.msg, now_, sender_hops + 1);
     }
@@ -284,7 +452,6 @@ void World::complete_transfer(Transfer& tr) {
       sender.router->on_delivered(tr.msg);
       receiver.router->on_delivered(tr.msg);
     }
-    (void)delivered;
     return;
   }
 

@@ -3,12 +3,25 @@
 // contact, finite buffers with router-chosen eviction, TTL expiry, and the
 // paper's three metrics. One World is one simulation run; Worlds share no
 // state and may run concurrently on different threads.
+//
+// Contact-layer engine (incremental since PR 1): the World maintains
+//  - per-node sorted adjacency lists, updated on link-up/link-down, so
+//    neighbor queries are O(degree) and routers get a zero-copy
+//    `const std::vector<NodeIdx>&` view;
+//  - a slot pool of Connection records addressed through the adjacency
+//    lists (no per-link hash map), recycled across link churn;
+//  - sorted pair-key vectors diffed against the previous step's to derive
+//    link-up/link-down events without rebuilding any set structure;
+//  - an active-transfers index so progress_transfers() visits only
+//    connections with queued work.
+// After warm-up the whole step loop is allocation-free in steady state.
+// `WorldConfig::legacy_contact_path` re-enables the seed's full-rescan
+// algorithm (same observable behavior, seed cost profile) so benchmarks can
+// measure both in one binary.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -30,6 +43,10 @@ struct WorldConfig {
   std::int64_t buffer_bytes = 1 << 20;  ///< 1 MB
   double ttl_sweep_interval = 10.0;     ///< s between expiry sweeps
   std::uint64_t seed = 1;
+  /// Seed-style contact path: full connection rescan per neighbor query and
+  /// per-step set rebuild in detect_contacts. Only for benchmarking the
+  /// incremental engine against its predecessor; must be set before run().
+  bool legacy_contact_path = false;
 };
 
 class World {
@@ -62,7 +79,16 @@ class World {
   [[nodiscard]] const Router& router_of(NodeIdx node) const;
   [[nodiscard]] geo::Vec2 position_of(NodeIdx node) const;
   [[nodiscard]] bool in_contact(NodeIdx a, NodeIdx b) const;
+  /// Current neighbors of `node`, ascending, as a copy (compat API; prefer
+  /// neighbors_of() on hot paths).
   [[nodiscard]] std::vector<NodeIdx> contacts_of(NodeIdx node) const;
+  /// Zero-copy view of `node`'s current neighbors, ascending. The reference
+  /// stays valid until the next detect_contacts() pass (i.e. across a whole
+  /// router callback); send_copy()/enqueue_transfer() do not invalidate it.
+  /// Caveat: with legacy_contact_path the view is a shared scratch buffer
+  /// that the NEXT neighbors_of()/contacts_of() call (for any node)
+  /// overwrites — bench-baseline mode supports one outstanding view only.
+  [[nodiscard]] const std::vector<NodeIdx>& neighbors_of(NodeIdx node) const;
   [[nodiscard]] bool peer_has(NodeIdx peer, MsgId id) const;
   bool enqueue_transfer(NodeIdx from, NodeIdx to, MsgId id, int r_recv, int r_deduct);
   [[nodiscard]] util::Pcg32& routing_rng(NodeIdx node);
@@ -76,6 +102,10 @@ class World {
 
   /// Total contact (link-up) events so far — a mobility diagnostic.
   [[nodiscard]] std::int64_t contact_events() const noexcept { return contact_events_; }
+  /// Currently-active links (adjacency invariant checks in tests).
+  [[nodiscard]] std::size_t active_connection_count() const noexcept {
+    return live_connections_;
+  }
 
  private:
   struct Transfer {
@@ -88,8 +118,60 @@ class World {
     bool started = false;
   };
 
+  /// FIFO of transfers with reusable storage (replaces std::deque):
+  /// pop_front() advances a head index; storage compacts in place only when
+  /// the queue drains or the dead prefix dominates, so a steady-state
+  /// connection never heap-allocates.
+  class TransferQueue {
+   public:
+    [[nodiscard]] bool empty() const noexcept { return head_ == items_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return items_.size() - head_; }
+    [[nodiscard]] Transfer& front() noexcept { return items_[head_]; }
+    void push_back(const Transfer& t) { items_.push_back(t); }
+    void pop_front() {
+      ++head_;
+      if (head_ == items_.size()) {
+        items_.clear();
+        head_ = 0;
+      } else if (head_ >= 32 && head_ * 2 >= items_.size()) {
+        items_.erase(items_.begin(),
+                     items_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+    void clear() noexcept {
+      items_.clear();
+      head_ = 0;
+    }
+    [[nodiscard]] const Transfer* begin() const noexcept { return items_.data() + head_; }
+    [[nodiscard]] const Transfer* end() const noexcept {
+      return items_.data() + items_.size();
+    }
+    [[nodiscard]] Transfer* begin() noexcept { return items_.data() + head_; }
+    [[nodiscard]] Transfer* end() noexcept { return items_.data() + items_.size(); }
+
+   private:
+    std::vector<Transfer> items_;
+    std::size_t head_ = 0;
+  };
+
+  /// One active link. Lives in a recycled slot pool; addressed via the
+  /// endpoints' adjacency lists rather than a hash map.
   struct Connection {
-    std::deque<Transfer> queue;  ///< half-duplex: one transfer at a time
+    NodeIdx a = -1;  ///< lower endpoint
+    NodeIdx b = -1;  ///< higher endpoint
+    TransferQueue queue;  ///< half-duplex: one transfer at a time
+    /// Position in active_slots_ while queued work exists (kNoSlot when
+    /// not listed); enables O(1) swap-removal on link-down.
+    std::uint32_t active_idx = 0xffffffffu;
+    bool alive = false;  ///< slot occupied
+  };
+
+  /// Sorted adjacency of one node: peers_ ascending, slots_ parallel
+  /// (slots_[i] is the connection slot for peers_[i]).
+  struct Adjacency {
+    std::vector<NodeIdx> peers;
+    std::vector<std::uint32_t> slots;
   };
 
   struct Node {
@@ -105,10 +187,22 @@ class World {
           routing_rng(rng) {}
   };
 
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Pair key ordered by (lo, hi): sorting keys reproduces the seed's
+  /// deterministic link-up callback order (ascending (a, b) pairs).
   static std::uint64_t pair_key(NodeIdx a, NodeIdx b) noexcept;
 
+  [[nodiscard]] std::uint32_t slot_of(NodeIdx a, NodeIdx b) const noexcept;
+  void link_up(NodeIdx a, NodeIdx b);
+  void link_down(NodeIdx a, NodeIdx b);
+  void activate(std::uint32_t slot);
+  void deactivate(std::uint32_t slot);
+
   void move_nodes();
+  void sort_pair_keys(std::vector<std::uint64_t>& keys);
   void detect_contacts();
+  void detect_contacts_legacy();
   void progress_transfers();
   void complete_transfer(Transfer& tr);
   void generate_traffic();
@@ -124,7 +218,22 @@ class World {
   double next_sweep_ = 0.0;
   std::vector<Node> nodes_;
   geo::SpatialGrid grid_;
-  std::unordered_map<std::uint64_t, Connection> connections_;  // active links
+
+  // ---- contact layer ----
+  std::vector<Adjacency> adjacency_;         // per-node sorted neighbor lists
+  std::vector<Connection> conn_pool_;        // recycled connection slots
+  std::vector<std::uint32_t> free_slots_;    // free list into conn_pool_
+  std::size_t live_connections_ = 0;
+  std::vector<std::uint64_t> prev_pairs_;    // sorted pair keys, last step
+  std::vector<std::uint64_t> curr_pairs_;    // scratch: sorted keys, this step
+  std::vector<std::uint64_t> diff_scratch_;  // scratch: ups/downs of the diff
+  std::vector<std::pair<std::int32_t, std::int32_t>> pair_scratch_;  // grid out
+  std::vector<std::uint32_t> radix_count_;   // scratch: counting-sort buckets
+  std::vector<std::uint64_t> radix_tmp_;     // scratch: counting-sort output
+  std::vector<std::uint32_t> active_slots_;  // connections with queued work
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> progress_scratch_;
+  mutable std::vector<NodeIdx> legacy_contacts_scratch_;
+
   /// Per-node multiset of message ids currently queued toward that node;
   /// makes peer_has() O(1) instead of scanning every connection queue.
   std::vector<std::unordered_multiset<MsgId>> inbound_queued_;
