@@ -1,16 +1,25 @@
 // World-step throughput benchmark: the perf trajectory for the simulation
 // kernel. Runs the same random-waypoint + epidemic workload through the
-// incremental contact-layer engine and through the seed's full-rescan
-// algorithm (WorldConfig::legacy_contact_path) in one binary, and reports
+// current engine and through the seed's algorithms — full-rescan contact
+// detection (WorldConfig::legacy_contact_path) and the list+map message
+// store (WorldConfig::legacy_buffer_path) — in one binary, and reports
 // steps/sec and contact-events/sec at n in {100, 500, 2000} plus their
 // speedup. Results land in BENCH_world_step.json (committed at the repo
 // root) so successive PRs have a comparable perf history.
 //
-// The binary also verifies the engine's allocation contract: a global
-// operator new counter measures heap allocations per step, after warm-up,
-// on a traffic-free run where step() == move + detect_contacts. The
-// incremental path must report ~0 (occasional spatial-grid cell creation
-// when nodes roam into never-seen cells is the only residual source).
+// A second, buffer-pressure workload isolates the message store: small
+// buffers (a few packets) under dense traffic force constant insert /
+// evict / scan churn, both worlds use the incremental contact engine, and
+// only the store implementation differs (slab vs seed list+map). The two
+// runs must produce identical metrics — the store swap is observably
+// inert (also enforced by sim_buffer_equivalence_test).
+//
+// The binary also verifies the allocation contract: a global operator new
+// counter measures heap allocations per step after warm-up, (a) on a
+// traffic-free run where step() == move + detect_contacts, and (b) on the
+// buffer-pressure workload where the store churns every step. The current
+// engine must report ~0 for both (residuals: rare spatial-grid cell
+// discovery and per-first-delivery metrics bookkeeping).
 //
 // Flags: --steps N (timed steps, default 1500), --warmup N (default 300),
 //        --out PATH (default BENCH_world_step.json), --smoke (tiny sizes
@@ -60,15 +69,30 @@ struct RunResult {
   std::int64_t contact_events = 0;
 };
 
+/// Extra knobs for the buffer-pressure workload; defaults reproduce the
+/// original contact-layer workload (paper traffic, 1 MB buffers).
+struct WorkloadTuning {
+  std::int64_t buffer_bytes = 1 << 20;
+  double traffic_interval_min = 25.0;
+  double traffic_interval_max = 35.0;
+  std::int64_t traffic_size_bytes = 25 * 1024;
+};
+
 /// Random-waypoint world at constant density (`area_per_node` m^2 per node,
 /// 10 m radio range: a DTN with steady link churn). `with_traffic` adds the
 /// paper's 25 KB message stream over epidemic routers so the contact layer
-/// is exercised by real neighbor queries and transfers.
-std::unique_ptr<sim::World> build_world(int nodes, bool legacy, bool with_traffic,
-                                        double area_per_node) {
+/// is exercised by real neighbor queries and transfers. `legacy_contact`
+/// and `legacy_buffer` select the seed implementations independently so
+/// each subsystem can be A/B-timed in isolation or together.
+std::unique_ptr<sim::World> build_world(int nodes, bool legacy_contact,
+                                        bool legacy_buffer, bool with_traffic,
+                                        double area_per_node,
+                                        const WorkloadTuning& tuning = {}) {
   sim::WorldConfig config;
   config.seed = 42;
-  config.legacy_contact_path = legacy;
+  config.legacy_contact_path = legacy_contact;
+  config.legacy_buffer_path = legacy_buffer;
+  config.buffer_bytes = tuning.buffer_bytes;
   auto world = std::make_unique<sim::World>(config);
   const double side = std::sqrt(area_per_node * nodes);
   mobility::RandomWaypointParams move;
@@ -82,6 +106,9 @@ std::unique_ptr<sim::World> build_world(int nodes, bool legacy, bool with_traffi
   }
   if (with_traffic) {
     sim::TrafficParams traffic;  // paper defaults: 25 KB, TTL 1200 s
+    traffic.interval_min = tuning.traffic_interval_min;
+    traffic.interval_max = tuning.traffic_interval_max;
+    traffic.size_bytes = tuning.traffic_size_bytes;
     world->set_traffic(traffic);
   }
   return world;
@@ -139,11 +166,14 @@ std::pair<RunResult, RunResult> timed_ab_run(sim::World& legacy_world,
   return {legacy, incr};
 }
 
-/// Heap allocations per step, after warm-up, on a traffic-free world where
-/// step() is exactly move_nodes + detect_contacts (+ no-op sweeps).
-double allocs_per_step(int nodes, bool legacy, int warmup, int steps,
-                       double area_per_node) {
-  auto world = build_world(nodes, legacy, /*with_traffic=*/false, area_per_node);
+/// Heap allocations per step, after warm-up. Traffic-free isolates the
+/// contact layer (step() == move + detect_contacts); with traffic and
+/// pressure tuning it measures the full transfer + store churn path.
+double allocs_per_step(int nodes, bool legacy_contact, bool legacy_buffer,
+                       bool with_traffic, int warmup, int steps,
+                       double area_per_node, const WorkloadTuning& tuning = {}) {
+  auto world = build_world(nodes, legacy_contact, legacy_buffer, with_traffic,
+                           area_per_node, tuning);
   for (int i = 0; i < warmup; ++i) world->step();
   g_allocs.store(0);
   g_count_allocs = true;
@@ -192,8 +222,14 @@ int main(int argc, char** argv) {
     const int n = node_counts[i];
     std::printf("n=%d ...\n", n);
     std::fflush(stdout);
-    auto legacy_world = bench::build_world(n, /*legacy=*/true, /*with_traffic=*/true, density);
-    auto incr_world = bench::build_world(n, /*legacy=*/false, /*with_traffic=*/true, density);
+    // Legacy = the seed's cost profile end to end: full-rescan contact
+    // detection AND the list+map message store.
+    auto legacy_world = bench::build_world(n, /*legacy_contact=*/true,
+                                           /*legacy_buffer=*/true,
+                                           /*with_traffic=*/true, density);
+    auto incr_world = bench::build_world(n, /*legacy_contact=*/false,
+                                         /*legacy_buffer=*/false,
+                                         /*with_traffic=*/true, density);
     const auto [legacy, incr] =
         bench::timed_ab_run(*legacy_world, *incr_world, warmup, steps, trials);
     if (incr.contact_events != legacy.contact_events) {
@@ -223,15 +259,96 @@ int main(int argc, char** argv) {
   }
   json += "  ],\n";
 
+  // ---- buffer-pressure workload: isolate the message store ----
+  // Small packets (2 KB, telemetry-style) under dense traffic saturate
+  // every node's 1 MB buffer at ~512 stored copies, so each contact-up
+  // walks a big store (the epidemic-family hot loop) and every admitted
+  // copy evicts another (forced drops). Both worlds run the incremental
+  // contact engine; only the store differs (slab vs seed list+map), so
+  // the speedup is attributable to the Buffer rework alone. Both must
+  // produce identical simulations — cross-checked below.
+  bench::WorkloadTuning pressure;
+  pressure.buffer_bytes = 1 << 20;  // 512 x 2 KB
+  pressure.traffic_interval_min = 0.5;
+  pressure.traffic_interval_max = 1.0;
+  pressure.traffic_size_bytes = 2 * 1024;
+  const int pressure_warmup = std::max(warmup, smoke ? 1500 : 5000);
+  const std::vector<int> pressure_nodes = smoke ? std::vector<int>{100}
+                                                : std::vector<int>{100, 500};
+  json += "  \"buffer_pressure\": {\n"
+          "    \"workload\": \"1 MB buffers saturated at ~512 x 2 KB packets "
+          "(message every 0.5-1 s), forced drops; incremental contact engine "
+          "on both sides\",\n    \"points\": [\n";
+  for (std::size_t i = 0; i < pressure_nodes.size(); ++i) {
+    const int n = pressure_nodes[i];
+    std::printf("buffer pressure n=%d ...\n", n);
+    std::fflush(stdout);
+    auto list_world = bench::build_world(n, /*legacy_contact=*/false,
+                                         /*legacy_buffer=*/true,
+                                         /*with_traffic=*/true, density, pressure);
+    auto slab_world = bench::build_world(n, /*legacy_contact=*/false,
+                                         /*legacy_buffer=*/false,
+                                         /*with_traffic=*/true, density, pressure);
+    const auto [list_run, slab_run] = bench::timed_ab_run(
+        *list_world, *slab_world, pressure_warmup, steps, trials);
+    const bool same_sim =
+        list_run.contact_events == slab_run.contact_events &&
+        list_world->metrics().created() == slab_world->metrics().created() &&
+        list_world->metrics().delivered() == slab_world->metrics().delivered() &&
+        list_world->metrics().relayed() == slab_world->metrics().relayed() &&
+        list_world->metrics().dropped() == slab_world->metrics().dropped();
+    if (!same_sim) {
+      std::fprintf(stderr,
+                   "FATAL: buffer-pressure mismatch at n=%d — the slab and "
+                   "list stores diverged\n", n);
+      return 1;
+    }
+    const double speedup = slab_run.steps_per_sec / list_run.steps_per_sec;
+    std::printf("n=%-5d list %9.1f steps/s | slab %9.1f steps/s | %.2fx | "
+                "%lld drops\n",
+                n, list_run.steps_per_sec, slab_run.steps_per_sec, speedup,
+                static_cast<long long>(slab_world->metrics().dropped()));
+    std::fflush(stdout);
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"nodes\": %d, \"list_steps_per_sec\": %.1f, "
+                  "\"slab_steps_per_sec\": %.1f, \"speedup\": %.2f}%s\n",
+                  n, list_run.steps_per_sec, slab_run.steps_per_sec, speedup,
+                  i + 1 < pressure_nodes.size() ? "," : "");
+    json += buf;
+  }
+
+  // Store churn allocation contract under pressure: the slab must stay
+  // ~0 allocs/step while the seed store pays per insert and per transfer.
+  const int pressure_alloc_nodes = smoke ? 60 : 100;
+  const double slab_pressure_allocs = bench::allocs_per_step(
+      pressure_alloc_nodes, /*legacy_contact=*/false, /*legacy_buffer=*/false,
+      /*with_traffic=*/true, pressure_warmup, steps, density, pressure);
+  const double list_pressure_allocs = bench::allocs_per_step(
+      pressure_alloc_nodes, /*legacy_contact=*/false, /*legacy_buffer=*/true,
+      /*with_traffic=*/true, pressure_warmup, steps, density, pressure);
+  std::printf("buffer-pressure allocs/step (n=%d): slab %.4f, list %.2f\n",
+              pressure_alloc_nodes, slab_pressure_allocs, list_pressure_allocs);
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    ],\n    \"allocs_per_step\": {\"nodes\": %d, "
+                  "\"slab\": %.4f, \"list\": %.2f}\n  },\n",
+                  pressure_alloc_nodes, slab_pressure_allocs, list_pressure_allocs);
+    json += buf;
+  }
+
   // Allocation contract: traffic-free steady state must not heap-allocate.
   // Warm-up must be long enough for the roaming nodes to have visited every
   // grid cell of the bounded arena, or first-visit cell creation shows up.
   const int alloc_nodes = smoke ? 200 : 1000;
   const int alloc_warmup = std::max(warmup, smoke ? 500 : 4000);
-  const double incr_allocs =
-      bench::allocs_per_step(alloc_nodes, /*legacy=*/false, alloc_warmup, steps, density);
-  const double legacy_allocs =
-      bench::allocs_per_step(alloc_nodes, /*legacy=*/true, alloc_warmup, steps, density);
+  const double incr_allocs = bench::allocs_per_step(
+      alloc_nodes, /*legacy_contact=*/false, /*legacy_buffer=*/false,
+      /*with_traffic=*/false, alloc_warmup, steps, density);
+  const double legacy_allocs = bench::allocs_per_step(
+      alloc_nodes, /*legacy_contact=*/true, /*legacy_buffer=*/true,
+      /*with_traffic=*/false, alloc_warmup, steps, density);
   std::printf("allocs/step after warm-up (n=%d, no traffic): incremental %.4f, "
               "legacy %.1f\n",
               alloc_nodes, incr_allocs, legacy_allocs);

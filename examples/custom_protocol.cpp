@@ -33,7 +33,7 @@ class FreshnessRouter final : public sim::Router {
     last_met_[static_cast<std::size_t>(peer)] = now();
     auto* peer_router = dynamic_cast<FreshnessRouter*>(&world().router_of(peer));
     const double t = now();
-    for (const auto& sm : buffer().messages()) {
+    for (const auto& sm : buffer()) {
       if (sm.msg.expired_at(t)) continue;
       if (sm.msg.dst == peer) {  // direct delivery first, as always
         send_copy(peer, sm.msg.id, 1, 0);
@@ -51,7 +51,7 @@ class FreshnessRouter final : public sim::Router {
   [[nodiscard]] sim::MsgId choose_drop_victim(const sim::Buffer& buffer) const override {
     sim::MsgId victim = sim::Buffer::kInvalidMsg;
     double stalest = std::numeric_limits<double>::infinity();
-    for (const auto& sm : buffer.messages()) {
+    for (const auto& sm : buffer) {
       const double seen = last_met(sm.msg.dst);
       if (seen < stalest) {
         stalest = seen;

@@ -103,7 +103,7 @@ void CrRouter::on_contact_up(sim::NodeIdx peer) {
   }
 
   // Algorithm 2: dispatch each buffered message to inter- or intra-phase.
-  for (const auto& sm : buffer().messages()) {
+  for (const auto& sm : buffer()) {
     route_one(sm, peer, peer_router, t);
   }
 }

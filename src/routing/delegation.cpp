@@ -47,7 +47,7 @@ void DelegationRouter::on_contact_up(sim::NodeIdx peer) {
     last_met_.resize(static_cast<std::size_t>(world().node_count()), kNever);
   }
   last_met_[static_cast<std::size_t>(peer)] = now();
-  for (const auto& sm : buffer().messages()) route_one(sm, peer);
+  for (const auto& sm : buffer()) route_one(sm, peer);
 }
 
 void DelegationRouter::on_message_created(const sim::Message& m) {

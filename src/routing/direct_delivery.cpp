@@ -8,7 +8,7 @@ namespace dtn::routing {
 
 void DirectDeliveryRouter::on_contact_up(sim::NodeIdx peer) {
   const double t = now();
-  for (const auto& sm : buffer().messages()) {
+  for (const auto& sm : buffer()) {
     if (!sm.msg.expired_at(t) && sm.msg.dst == peer) {
       send_copy(peer, sm.msg.id, 1, 0);
     }

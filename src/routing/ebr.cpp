@@ -23,7 +23,7 @@ void EbrRouter::on_contact_up(sim::NodeIdx peer) {
   ++current_window_contacts_;
   // EV exchange: one double each way.
   charge_control_bytes(8);
-  for (const auto& sm : buffer().messages()) try_route(sm, peer);
+  for (const auto& sm : buffer()) try_route(sm, peer);
 }
 
 void EbrRouter::on_message_created(const sim::Message& m) {

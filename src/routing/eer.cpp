@@ -64,7 +64,7 @@ void EerRouter::on_contact_up(sim::NodeIdx peer) {
 
 void EerRouter::route_messages(sim::NodeIdx peer, EerRouter* peer_router) {
   const double t = now();
-  for (const auto& sm : buffer().messages()) {
+  for (const auto& sm : buffer()) {
     route_one(sm, peer, peer_router, t);
   }
 }

@@ -22,11 +22,11 @@ void EpidemicRouter::on_message_received(const sim::StoredMessage& sm,
 void EpidemicRouter::push_all_to(sim::NodeIdx peer) {
   const double t = now();
   // Destination-bound messages jump the queue.
-  for (const auto& sm : buffer().messages()) {
+  for (const auto& sm : buffer()) {
     if (sm.msg.expired_at(t)) continue;
     if (sm.msg.dst == peer) send_copy(peer, sm.msg.id, 1, 0);
   }
-  for (const auto& sm : buffer().messages()) {
+  for (const auto& sm : buffer()) {
     if (sm.msg.expired_at(t) || sm.msg.dst == peer) continue;
     if (!peer_has(peer, sm.msg.id)) send_copy(peer, sm.msg.id, 1, 0);
   }

@@ -17,7 +17,7 @@ void FirstContactRouter::route_one(const sim::StoredMessage& sm, sim::NodeIdx pe
 }
 
 void FirstContactRouter::on_contact_up(sim::NodeIdx peer) {
-  for (const auto& sm : buffer().messages()) route_one(sm, peer);
+  for (const auto& sm : buffer()) route_one(sm, peer);
 }
 
 void FirstContactRouter::on_message_created(const sim::Message& m) {
@@ -26,7 +26,7 @@ void FirstContactRouter::on_message_created(const sim::Message& m) {
   const std::vector<sim::NodeIdx>& peers = contacts();  // zero-copy view
   for (const sim::NodeIdx peer : peers) {
     route_one(*sm, peer);
-    if (!buffer().has(m.id)) break;  // copy already queued away
+    if (!buffer().contains(m.id)) break;  // copy already queued away
   }
 }
 

@@ -109,7 +109,7 @@ void MaxPropRouter::push_messages(sim::NodeIdx peer) {
   std::vector<Item> destined;
   std::vector<Item> low_hop;
   std::vector<Item> by_cost;
-  for (const auto& sm : buffer().messages()) {
+  for (const auto& sm : buffer()) {
     if (sm.msg.expired_at(t) || acked(sm.msg.id)) continue;
     if (sm.msg.dst == peer) {
       destined.push_back({sm.msg.id, sm.hop_count, 0.0});
@@ -169,7 +169,7 @@ sim::MsgId MaxPropRouter::choose_drop_victim(const sim::Buffer& buffer) const {
   sim::MsgId victim = sim::Buffer::kInvalidMsg;
   double worst_cost = -1.0;
   int worst_hops = -1;
-  for (const auto& sm : buffer.messages()) {
+  for (const auto& sm : buffer) {
     if (sm.hop_count >= params_.hop_threshold) {
       const double c = cost_to(sm.msg.dst);
       const double effective = c == kInf ? 1e18 : c;
@@ -180,7 +180,7 @@ sim::MsgId MaxPropRouter::choose_drop_victim(const sim::Buffer& buffer) const {
     }
   }
   if (victim != sim::Buffer::kInvalidMsg) return victim;
-  for (const auto& sm : buffer.messages()) {
+  for (const auto& sm : buffer) {
     if (sm.hop_count > worst_hops) {
       worst_hops = sm.hop_count;
       victim = sm.msg.id;

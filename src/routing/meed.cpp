@@ -47,7 +47,7 @@ void MeedRouter::on_contact_up(sim::NodeIdx peer) {
       charge_control_bytes((to_self + to_peer) * mi_->row_bytes());
     }
   }
-  for (const auto& sm : buffer().messages()) route_one(sm, peer, peer_router);
+  for (const auto& sm : buffer()) route_one(sm, peer, peer_router);
 }
 
 void MeedRouter::route_one(const sim::StoredMessage& sm, sim::NodeIdx peer,

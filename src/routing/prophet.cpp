@@ -51,7 +51,7 @@ void ProphetRouter::on_contact_up(sim::NodeIdx peer) {
 
   // GRTR forwarding: replicate messages the peer is better positioned for.
   const double t = now();
-  for (const auto& sm : buffer().messages()) {
+  for (const auto& sm : buffer()) {
     if (sm.msg.expired_at(t)) continue;
     if (sm.msg.dst == peer) {
       send_copy(peer, sm.msg.id, 1, 0);

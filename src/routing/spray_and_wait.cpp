@@ -27,7 +27,7 @@ void SprayAndWaitRouter::try_spray(const sim::StoredMessage& sm, sim::NodeIdx pe
 }
 
 void SprayAndWaitRouter::on_contact_up(sim::NodeIdx peer) {
-  for (const auto& sm : buffer().messages()) try_spray(sm, peer);
+  for (const auto& sm : buffer()) try_spray(sm, peer);
 }
 
 void SprayAndWaitRouter::on_message_created(const sim::Message& m) {

@@ -1,49 +1,136 @@
 #include "sim/buffer.hpp"
 
-#include <cassert>
-
 namespace dtn::sim {
 
-Buffer::Buffer(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {}
+Buffer::Buffer(std::int64_t capacity_bytes, bool legacy_store)
+    : capacity_(capacity_bytes), legacy_(legacy_store) {}
+
+bool Buffer::contains(MsgId id) const noexcept {
+  if (legacy_) return legacy_index_.count(id) > 0;
+  return index_find(id) != kNoHandle;
+}
 
 StoredMessage* Buffer::find(MsgId id) {
-  const auto it = index_.find(id);
-  return it == index_.end() ? nullptr : &*it->second;
+  if (legacy_) {
+    const auto it = legacy_index_.find(id);
+    return it == legacy_index_.end() ? nullptr : &*it->second;
+  }
+  const Handle h = index_find(id);
+  return h == kNoHandle ? nullptr : &slots_[static_cast<std::size_t>(h)].sm;
 }
 
 const StoredMessage* Buffer::find(MsgId id) const {
-  const auto it = index_.find(id);
-  return it == index_.end() ? nullptr : &*it->second;
+  return const_cast<Buffer*>(this)->find(id);
 }
 
 void Buffer::insert(StoredMessage sm) {
-  assert(!has(sm.msg.id));
+  assert(sm.msg.id >= 0 && "message ids must be non-negative");
+  assert(!contains(sm.msg.id));
   assert(fits(sm.msg));
   used_ += sm.msg.size_bytes;
-  const MsgId id = sm.msg.id;
-  store_.push_back(std::move(sm));
-  index_.emplace(id, std::prev(store_.end()));
+  ++count_;
+  if (legacy_) {
+    const MsgId id = sm.msg.id;
+    legacy_store_.push_back(std::move(sm));
+    legacy_index_.emplace(id, std::prev(legacy_store_.end()));
+    return;
+  }
+  Handle h;
+  if (free_head_ != kNoHandle) {
+    h = free_head_;
+    free_head_ = slots_[static_cast<std::size_t>(h)].next;
+  } else {
+    h = static_cast<Handle>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[static_cast<std::size_t>(h)];
+  slot.sm = std::move(sm);
+  slot.prev = tail_;
+  slot.next = kNoHandle;
+  if (tail_ != kNoHandle) {
+    slots_[static_cast<std::size_t>(tail_)].next = h;
+  } else {
+    head_ = h;
+  }
+  tail_ = h;
+  index_.find_or_insert(slot.sm.msg.id, h);  // absent per precondition
 }
 
 bool Buffer::erase(MsgId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  used_ -= it->second->msg.size_bytes;
-  store_.erase(it->second);
-  index_.erase(it);
+  if (legacy_) {
+    const auto it = legacy_index_.find(id);
+    if (it == legacy_index_.end()) return false;
+    used_ -= it->second->msg.size_bytes;
+    --count_;
+    legacy_store_.erase(it->second);
+    legacy_index_.erase(it);
+    return true;
+  }
+  const Handle h = index_find(id);
+  if (h == kNoHandle) return false;
+  Slot& slot = slots_[static_cast<std::size_t>(h)];
+  used_ -= slot.sm.msg.size_bytes;
+  --count_;
+  if (slot.prev != kNoHandle) {
+    slots_[static_cast<std::size_t>(slot.prev)].next = slot.next;
+  } else {
+    head_ = slot.next;
+  }
+  if (slot.next != kNoHandle) {
+    slots_[static_cast<std::size_t>(slot.next)].prev = slot.prev;
+  } else {
+    tail_ = slot.prev;
+  }
+  index_.erase(id);
+  slot.sm.msg.id = kInvalidMsg;  // make stale reads obvious
+  slot.prev = kNoHandle;
+  slot.next = free_head_;
+  free_head_ = h;
   return true;
 }
 
-MsgId Buffer::oldest() const {
-  return store_.empty() ? kInvalidMsg : store_.front().msg.id;
+MsgId Buffer::oldest() const noexcept {
+  if (legacy_) return legacy_store_.empty() ? kInvalidMsg : legacy_store_.front().msg.id;
+  return head_ == kNoHandle ? kInvalidMsg
+                            : slots_[static_cast<std::size_t>(head_)].sm.msg.id;
 }
 
-std::vector<MsgId> Buffer::expired_ids(double t) const {
-  std::vector<MsgId> out;
-  for (const auto& sm : store_) {
+MsgId Buffer::newest() const noexcept {
+  if (legacy_) return legacy_store_.empty() ? kInvalidMsg : legacy_store_.back().msg.id;
+  return tail_ == kNoHandle ? kInvalidMsg
+                            : slots_[static_cast<std::size_t>(tail_)].sm.msg.id;
+}
+
+Buffer::Handle Buffer::handle_of(MsgId id) const noexcept {
+  assert(!legacy_ && "handles are slab-mode only");
+  return index_find(id);
+}
+
+Buffer::Handle Buffer::front_handle() const noexcept {
+  assert(!legacy_ && "handles are slab-mode only");
+  return head_;
+}
+
+Buffer::Handle Buffer::next_handle(Handle h) const noexcept {
+  assert(!legacy_ && "handles are slab-mode only");
+  return slots_[static_cast<std::size_t>(h)].next;
+}
+
+const StoredMessage& Buffer::get(Handle h) const noexcept {
+  assert(!legacy_ && "handles are slab-mode only");
+  return slots_[static_cast<std::size_t>(h)].sm;
+}
+
+StoredMessage& Buffer::get(Handle h) noexcept {
+  assert(!legacy_ && "handles are slab-mode only");
+  return slots_[static_cast<std::size_t>(h)].sm;
+}
+
+void Buffer::expired_into(double t, std::vector<MsgId>& out) const {
+  out.clear();
+  for (const StoredMessage& sm : *this) {
     if (sm.msg.expired_at(t)) out.push_back(sm.msg.id);
   }
-  return out;
 }
 
 }  // namespace dtn::sim

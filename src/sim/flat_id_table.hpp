@@ -1,0 +1,114 @@
+// Flat open-addressing hash table keyed by non-negative message ids —
+// the shared core under Buffer's id->slot index and the World's
+// inbound-queued id->count bags. Linear probing into power-of-two
+// parallel arrays (probes touch only the key lane), load factor <= 3/4,
+// erasure by backward-shift deletion (no tombstones), allocation only on
+// growth — so a table churning at a fixed high-water size is
+// allocation-free. Values must be trivially copyable; key -1 is reserved
+// as the empty-cell sentinel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+
+namespace dtn::sim {
+
+template <typename Value>
+class FlatIdTable {
+ public:
+  /// Entries currently stored.
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+  [[nodiscard]] bool empty() const noexcept { return used_ == 0; }
+
+  /// nullptr when absent. Valid until the next insert/erase.
+  [[nodiscard]] Value* find(MsgId id) noexcept {
+    if (used_ == 0) return nullptr;
+    const std::size_t i = slot_for(id);
+    return ids_[i] == id ? &values_[i] : nullptr;
+  }
+  [[nodiscard]] const Value* find(MsgId id) const noexcept {
+    return const_cast<FlatIdTable*>(this)->find(id);
+  }
+
+  /// The value for `id`, default-initializing a new entry from `init` when
+  /// absent. `id` must be non-negative.
+  Value& find_or_insert(MsgId id, Value init) {
+    // Keep load factor <= 3/4 so probe chains stay short and slot_for
+    // always terminates on an empty cell.
+    if ((used_ + 1) * 4 > ids_.size() * 3) grow();
+    const std::size_t i = slot_for(id);
+    if (ids_[i] != id) {
+      ids_[i] = id;
+      values_[i] = init;
+      ++used_;
+    }
+    return values_[i];
+  }
+
+  /// Removes the entry; returns false when absent.
+  bool erase(MsgId id) noexcept {
+    if (used_ == 0) return false;
+    std::size_t i = slot_for(id);
+    if (ids_[i] != id) return false;
+    // Backward-shift deletion: pull every displaced cluster member whose
+    // home position precedes the hole back over it, leaving no tombstone.
+    std::size_t hole = i;
+    std::size_t j = i;
+    const std::size_t mask = ids_.size() - 1;
+    while (true) {
+      j = (j + 1) & mask;
+      if (ids_[j] == kEmpty) break;
+      const std::size_t home = hash(ids_[j]) & mask;
+      if (((j - home) & mask) >= ((j - hole) & mask)) {
+        ids_[hole] = ids_[j];
+        values_[hole] = values_[j];
+        hole = j;
+      }
+    }
+    ids_[hole] = kEmpty;
+    --used_;
+    return true;
+  }
+
+ private:
+  static constexpr MsgId kEmpty = -1;
+
+  /// SplitMix64 finalizer: ids are sequential, so the low bits must be
+  /// well-mixed before masking into a power-of-two table.
+  [[nodiscard]] static std::uint64_t hash(MsgId id) noexcept {
+    return util::SplitMix64(static_cast<std::uint64_t>(id)).next();
+  }
+
+  /// First slot holding `id`, or the empty slot where it would go.
+  [[nodiscard]] std::size_t slot_for(MsgId id) const noexcept {
+    const std::size_t mask = ids_.size() - 1;
+    std::size_t i = hash(id) & mask;
+    while (ids_[i] != kEmpty && ids_[i] != id) i = (i + 1) & mask;
+    return i;
+  }
+
+  void grow() {
+    const std::size_t new_size = ids_.empty() ? 16 : ids_.size() * 2;
+    std::vector<MsgId> old_ids = std::move(ids_);
+    std::vector<Value> old_values = std::move(values_);
+    ids_.assign(new_size, kEmpty);
+    values_.assign(new_size, Value{});
+    const std::size_t mask = new_size - 1;
+    for (std::size_t i = 0; i < old_ids.size(); ++i) {
+      if (old_ids[i] == kEmpty) continue;
+      std::size_t j = hash(old_ids[i]) & mask;
+      while (ids_[j] != kEmpty) j = (j + 1) & mask;
+      ids_[j] = old_ids[i];
+      values_[j] = old_values[i];
+    }
+  }
+
+  std::vector<MsgId> ids_;     // kEmpty marks a vacant cell
+  std::vector<Value> values_;  // parallel value lane
+  std::size_t used_ = 0;
+};
+
+}  // namespace dtn::sim

@@ -11,8 +11,11 @@ void Metrics::on_transfer_started() { ++started_; }
 void Metrics::on_transfer_aborted() { ++aborted_; }
 
 void Metrics::on_delivered(const Message& m, double t, int hop_count) {
-  const auto [it, inserted] = delivery_time_.emplace(m.id, t);
-  if (!inserted) return;  // only the first replica's arrival counts
+  // Only the first replica's arrival counts. try_emplace (not emplace):
+  // emplace allocates a node even when the key already exists, and
+  // duplicate deliveries dominate in replication-heavy protocols.
+  const auto [it, inserted] = delivery_time_.try_emplace(m.id, t);
+  if (!inserted) return;
   latency_.add(t - m.created);
   hops_.add(static_cast<double>(hop_count));
 }

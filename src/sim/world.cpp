@@ -19,7 +19,8 @@ NodeIdx World::add_node(mobility::MovementModelPtr movement,
   const auto idx = static_cast<NodeIdx>(nodes_.size());
   auto rng = util::derive_stream(config_.seed, static_cast<std::uint64_t>(idx),
                                  util::StreamPurpose::kRouting);
-  nodes_.emplace_back(std::move(movement), std::move(router), config_.buffer_bytes, rng);
+  nodes_.emplace_back(std::move(movement), std::move(router), config_.buffer_bytes,
+                      config_.legacy_buffer_path, rng);
   adjacency_.emplace_back();
   inbound_queued_.emplace_back();
   Node& node = nodes_.back();
@@ -99,11 +100,10 @@ std::vector<NodeIdx> World::contacts_of(NodeIdx node) const {
 }
 
 bool World::peer_has(NodeIdx peer, MsgId id) const {
-  if (buffer_of(peer).has(id)) return true;
+  if (buffer_of(peer).contains(id)) return true;
   // Also true when a transfer carrying the message toward `peer` is queued;
   // prevents two contacts from double-sending the same copy.
-  const auto& inbound = inbound_queued_.at(static_cast<std::size_t>(peer));
-  return inbound.count(id) > 0;
+  return inbound_queued_.at(static_cast<std::size_t>(peer)).contains(id);
 }
 
 bool World::enqueue_transfer(NodeIdx from, NodeIdx to, MsgId id, int r_recv,
@@ -151,9 +151,7 @@ void World::deactivate(std::uint32_t slot) {
 }
 
 void World::unindex_inbound(const Transfer& tr) {
-  auto& inbound = inbound_queued_[static_cast<std::size_t>(tr.to)];
-  const auto it = inbound.find(tr.msg.id);
-  if (it != inbound.end()) inbound.erase(it);
+  inbound_queued_[static_cast<std::size_t>(tr.to)].erase_one(tr.msg.id);
 }
 
 void World::inject_message(const Message& m) {
@@ -446,7 +444,7 @@ void World::complete_transfer(Transfer& tr) {
     }
     // The destination never re-stores or re-forwards; the sender drops its
     // copy entirely (it has proof of delivery).
-    if (sender.buffer.has(tr.msg.id)) sender.buffer.erase(tr.msg.id);
+    sender.buffer.erase(tr.msg.id);  // no-op when the copy is already gone
     sender.router->on_transfer_success(tr.msg, tr.to, tr.r_recv, within_ttl);
     if (within_ttl) {
       sender.router->on_delivered(tr.msg);
@@ -493,10 +491,10 @@ void World::generate_traffic() {
 }
 
 void World::sweep_expired() {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    Buffer& buf = nodes_[i].buffer;
-    for (const MsgId id : buf.expired_ids(now_)) {
-      buf.erase(id);
+  for (auto& node : nodes_) {
+    node.buffer.expired_into(now_, expired_scratch_);
+    for (const MsgId id : expired_scratch_) {
+      node.buffer.erase(id);
       metrics_.on_expired();
     }
   }

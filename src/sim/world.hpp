@@ -13,7 +13,10 @@
 //  - sorted pair-key vectors diffed against the previous step's to derive
 //    link-up/link-down events without rebuilding any set structure;
 //  - an active-transfers index so progress_transfers() visits only
-//    connections with queued work.
+//    connections with queued work;
+//  - slab-backed per-node message stores (sim/buffer.hpp), a flat
+//    inbound-queued index, and a reused TTL-sweep scratch, so the
+//    traffic-bearing hot path recycles instead of allocating.
 // After warm-up the whole step loop is allocation-free in steady state.
 // `WorldConfig::legacy_contact_path` re-enables the seed's full-rescan
 // algorithm (same observable behavior, seed cost profile) so benchmarks can
@@ -28,6 +31,7 @@
 #include "geo/spatial_grid.hpp"
 #include "mobility/movement_model.hpp"
 #include "sim/buffer.hpp"
+#include "sim/flat_id_table.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/router.hpp"
@@ -47,6 +51,11 @@ struct WorldConfig {
   /// per-step set rebuild in detect_contacts. Only for benchmarking the
   /// incremental engine against its predecessor; must be set before run().
   bool legacy_contact_path = false;
+  /// Seed-style message store: every node's Buffer uses the seed's
+  /// std::list + unordered_map internals instead of the slab. Observable
+  /// behavior is identical (enforced by sim_buffer_equivalence_test); only
+  /// for benchmarking the slab against its predecessor. Set before add_node().
+  bool legacy_buffer_path = false;
 };
 
 class World {
@@ -182,9 +191,9 @@ class World {
     geo::Vec2 pos;
 
     Node(mobility::MovementModelPtr m, std::unique_ptr<Router> r,
-         std::int64_t buffer_bytes, util::Pcg32 rng)
-        : movement(std::move(m)), router(std::move(r)), buffer(buffer_bytes),
-          routing_rng(rng) {}
+         std::int64_t buffer_bytes, bool legacy_buffer, util::Pcg32 rng)
+        : movement(std::move(m)), router(std::move(r)),
+          buffer(buffer_bytes, legacy_buffer), routing_rng(rng) {}
   };
 
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
@@ -234,9 +243,33 @@ class World {
   std::vector<std::pair<std::uint64_t, std::uint32_t>> progress_scratch_;
   mutable std::vector<NodeIdx> legacy_contacts_scratch_;
 
-  /// Per-node multiset of message ids currently queued toward that node;
-  /// makes peer_has() O(1) instead of scanning every connection queue.
-  std::vector<std::unordered_multiset<MsgId>> inbound_queued_;
+  /// Multiset of message ids (id -> instance count) over the shared flat
+  /// open-addressing table. Membership is O(1) like the former
+  /// unordered_multiset but without its per-insert heap node, and unlike a
+  /// plain vector bag it survives mass-enqueue events (one epidemic
+  /// contact-up can queue hundreds of transfers toward a node, and every
+  /// subsequent peer_has() probes the bag) without going linear.
+  class IdBag {
+   public:
+    [[nodiscard]] bool contains(MsgId id) const noexcept {
+      return counts_.find(id) != nullptr;
+    }
+    void insert(MsgId id) { ++counts_.find_or_insert(id, 0); }
+    /// Removes one instance; no-op when absent.
+    void erase_one(MsgId id) noexcept {
+      std::uint32_t* count = counts_.find(id);
+      if (count != nullptr && --*count == 0) counts_.erase(id);
+    }
+
+   private:
+    FlatIdTable<std::uint32_t> counts_;
+  };
+
+  /// Per-node bag of message ids currently queued toward that node (one
+  /// instance per queued transfer), so peer_has() never scans connection
+  /// queues.
+  std::vector<IdBag> inbound_queued_;
+  std::vector<MsgId> expired_scratch_;  // reused by sweep_expired
   std::unique_ptr<TrafficGenerator> traffic_;
   MsgId next_msg_id_ = 0;
   Metrics metrics_;

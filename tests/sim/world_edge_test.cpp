@@ -73,7 +73,7 @@ TEST(WorldEdge, EvictionConsultsOwnerRouter) {
    public:
     [[nodiscard]] std::string name() const override { return "DropNewest"; }
     [[nodiscard]] MsgId choose_drop_victim(const Buffer& buffer) const override {
-      return buffer.messages().back().msg.id;
+      return buffer.newest();
     }
   };
   WorldConfig config = test_world_config();
