@@ -39,7 +39,7 @@ void register_benchmarks() {
             std::uint64_t seed = 1000;
             for (auto _ : state) {
               base.seed = seed++;
-              const auto r = dtn::harness::run_bus_scenario(base);
+              const auto r = dtn::bench::point_runner().run(base);
               point.delivery_ratio.add(r.metrics.delivery_ratio());
               point.latency.add(r.metrics.latency_mean());
               point.goodput.add(r.metrics.goodput());

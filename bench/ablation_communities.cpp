@@ -43,7 +43,7 @@ void run_variant(benchmark::State& state, const std::string& variant, int nodes,
       base.protocol.name = "EER";
       base.communities_override = nullptr;
     }
-    const auto r = dtn::harness::run_bus_scenario(base);
+    const auto r = dtn::bench::point_runner().run(base);
     point.delivery_ratio.add(r.metrics.delivery_ratio());
     point.latency.add(r.metrics.latency_mean());
     point.goodput.add(r.metrics.goodput());

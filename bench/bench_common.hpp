@@ -114,11 +114,20 @@ class FigureCollector {
   std::vector<std::pair<std::string, harness::PointResult>> points_;
 };
 
-/// Runs `seeds` simulations of `base` (protocol/nodes already set) inside a
-/// benchmark loop — one iteration per seed — and records the averaged
-/// metrics both as benchmark counters and into `collector`.
+/// The binary-wide reusable scenario executor: every grid point of every
+/// registered benchmark runs through ONE warm World (capacity retained
+/// across protocols, node counts, and seeds — results are bit-identical to
+/// fresh worlds per the World::reset contract).
+inline harness::ScenarioRunner& point_runner() {
+  static harness::ScenarioRunner runner;
+  return runner;
+}
+
+/// Runs one simulation per benchmark iteration (= per seed) of `base`
+/// (protocol/nodes already set) and records the averaged metrics both as
+/// benchmark counters and into `collector`.
 inline void run_point_benchmark(benchmark::State& state,
-                                harness::BusScenarioParams base, int /*seeds*/,
+                                harness::BusScenarioParams base,
                                 FigureCollector* collector,
                                 const std::string& series) {
   harness::PointResult point;
@@ -129,7 +138,7 @@ inline void run_point_benchmark(benchmark::State& state,
   std::uint64_t seed = 1000;
   for (auto _ : state) {
     base.seed = seed++;
-    const harness::ScenarioResult r = harness::run_bus_scenario(base);
+    const harness::ScenarioResult r = point_runner().run(base);
     point.delivery_ratio.add(r.metrics.delivery_ratio());
     point.latency.add(r.metrics.latency_mean());
     point.goodput.add(r.metrics.goodput());

@@ -29,7 +29,7 @@ void register_benchmarks() {
             base.protocol.name = protocol;
             base.protocol.copies = 10;  // λ = 10 (paper Sec. V-B)
             base.node_count = nodes;
-            dtn::bench::run_point_benchmark(state, base, scale.seeds, &g_collector,
+            dtn::bench::run_point_benchmark(state, base, &g_collector,
                                             protocol);
           })
           ->Iterations(scale.seeds)

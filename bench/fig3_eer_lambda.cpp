@@ -23,7 +23,7 @@ void register_benchmarks() {
             base.protocol.name = "EER";
             base.protocol.copies = lambda;
             base.node_count = nodes;
-            dtn::bench::run_point_benchmark(state, base, scale.seeds, &g_collector,
+            dtn::bench::run_point_benchmark(state, base, &g_collector,
                                             "lambda=" + std::to_string(lambda));
           })
           ->Iterations(scale.seeds)

@@ -1,0 +1,46 @@
+# bench_smoke driver (ctest target `bench_smoke`, label `slow`).
+#
+# 1. Smoke-runs every tracked bench binary at tiny sizes into WORK_DIR so
+#    the benches cannot bit-rot (their A/B equivalence cross-checks run).
+# 2. Validates the COMMITTED perf history at the repo root: each
+#    BENCH_*.json must exist and carry its required fields, so a bench
+#    refactor cannot silently stop emitting a tracked number.
+#
+# Invoked by CTest with -DBENCH_WORLD_STEP=..., -DBENCH_SWEEP=...,
+# -DSOURCE_DIR=..., -DWORK_DIR=... (see CMakeLists.txt).
+
+function(run_bench label)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: ${label} failed with exit code ${rv}")
+  endif()
+endfunction()
+
+function(require_fields json_file)
+  set(path ${SOURCE_DIR}/${json_file})
+  if(NOT EXISTS ${path})
+    message(FATAL_ERROR "bench_smoke: committed ${json_file} is missing")
+  endif()
+  file(READ ${path} content)
+  foreach(field ${ARGN})
+    string(FIND "${content}" "\"${field}\"" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR
+              "bench_smoke: ${json_file} is missing required field \"${field}\"")
+    endif()
+  endforeach()
+endfunction()
+
+run_bench(bench_world_step ${BENCH_WORLD_STEP} --steps 200 --smoke
+          --out ${WORK_DIR}/BENCH_world_step.smoke.json)
+run_bench(bench_sweep ${BENCH_SWEEP} --smoke
+          --out ${WORK_DIR}/BENCH_sweep.smoke.json)
+
+require_fields(BENCH_world_step.json
+               bench workload steps points legacy_steps_per_sec
+               incremental_steps_per_sec speedup buffer_pressure
+               allocs_per_step)
+require_fields(BENCH_sweep.json
+               bench campaign runs legacy_runs_per_sec reused_runs_per_sec
+               speedup aggregates_identical allocs_per_reused_seed)

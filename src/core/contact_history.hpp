@@ -40,6 +40,14 @@ class ContactHistory {
  public:
   explicit ContactHistory(std::size_t window_capacity = 32);
 
+  /// Forgets every pair, dropping to the exact just-constructed container
+  /// state — Router::reset support. Deliberately NOT a bucket-retaining
+  /// clear(): the estimators iterate pairs() accumulating floating-point
+  /// sums, and unordered_map iteration order depends on the bucket count,
+  /// so a retained (larger) bucket array could reorder the summation and
+  /// break the bit-identical reseed contract in the last ulp.
+  void clear() noexcept { pairs_ = {}; }
+
   /// Records a contact with `peer` at time t. If a previous contact exists
   /// the interval t - t0 is appended (evicting the oldest past capacity).
   /// Contacts arriving out of order or coincident (interval <= 0) only

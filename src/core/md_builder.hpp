@@ -12,6 +12,7 @@
 // exactly on the node's own contacts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -61,6 +62,15 @@ class MemdCache {
                                        double t);
 
   void invalidate() { valid_ = false; }
+
+  /// Forgets every synced row (buffers retained) — required when the
+  /// backing MiMatrix itself was reset, since its rewound row versions
+  /// could otherwise collide with the synced markers and leave stale MD
+  /// rows in place. Router::reset support.
+  void reset() {
+    valid_ = false;
+    std::fill(synced_versions_.begin(), synced_versions_.end(), ~0ULL);
+  }
 
  private:
   void sync_md(const MiMatrix& mi, const ContactHistory& history, NodeIdx self,

@@ -14,6 +14,17 @@ MiMatrix::MiMatrix(NodeIdx n)
   }
 }
 
+void MiMatrix::reset() {
+  std::fill(data_.begin(), data_.end(), kUnknown);
+  for (NodeIdx i = 0; i < n_; ++i) {
+    data_[static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(i)] = 0.0;
+  }
+  std::fill(row_times_.begin(), row_times_.end(),
+            -std::numeric_limits<double>::infinity());
+  std::fill(row_versions_.begin(), row_versions_.end(), 0);
+  version_ = 0;
+}
+
 double MiMatrix::get(NodeIdx i, NodeIdx j) const {
   assert(i >= 0 && i < n_ && j >= 0 && j < n_);
   return data_[static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j)];

@@ -19,6 +19,11 @@ class MiMatrix {
 
   explicit MiMatrix(NodeIdx n);
 
+  /// Restores the just-constructed state (all entries unknown, diagonal 0,
+  /// rows never updated, version counters rewound) without reallocating —
+  /// Router::reset support for cross-run reuse.
+  void reset();
+
   [[nodiscard]] NodeIdx size() const noexcept { return n_; }
 
   /// I_ij; 0 on the diagonal, kUnknown when no information yet.

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "geo/vec2.hpp"
@@ -29,6 +30,14 @@ class Polyline {
   /// endpoints; closed polylines wrap modulo total_length().
   [[nodiscard]] Vec2 point_at(double s) const noexcept;
 
+  /// point_at() with a caller-held segment cursor: `hint` remembers the
+  /// last containing segment so a monotonically advancing s (the bus
+  /// movement kernel) finds its segment by a short forward walk instead of
+  /// a binary search per query. Falls back to the binary search whenever
+  /// the hint does not apply (wrap, jump, first call) — the returned
+  /// position is bit-identical to point_at(s) in every case.
+  [[nodiscard]] Vec2 point_at_hinted(double s, std::uint32_t& hint) const noexcept;
+
   /// Cumulative arc length at the i-th vertex.
   [[nodiscard]] double length_at_vertex(std::size_t i) const;
 
@@ -37,6 +46,9 @@ class Polyline {
   [[nodiscard]] double project(Vec2 p) const noexcept;
 
  private:
+  [[nodiscard]] double wrap_arc_length(double s) const noexcept;
+  [[nodiscard]] Vec2 at_segment(double s, std::size_t idx) const noexcept;
+
   std::vector<Vec2> points_;
   std::vector<double> cumulative_;  // cumulative_[i] = length up to vertex i
   double total_length_ = 0.0;

@@ -19,8 +19,10 @@ constexpr std::pair<std::int64_t, std::int64_t> kForward[4] = {
 
 }  // namespace
 
-SpatialGrid::SpatialGrid(double cell_size)
-    : cell_(cell_size > 0.0 ? cell_size : 1.0), inv_cell_(1.0 / cell_) {}
+SpatialGrid::SpatialGrid(double cell_size, bool walk_all_cells)
+    : cell_(cell_size > 0.0 ? cell_size : 1.0),
+      inv_cell_(1.0 / cell_),
+      walk_all_cells_(walk_all_cells) {}
 
 SpatialGrid::CellKey SpatialGrid::make_key(std::int64_t cx, std::int64_t cy) noexcept {
   // Interleave the two 32-bit (wrapped) cell coordinates into one key.
@@ -72,6 +74,11 @@ void SpatialGrid::add_member(std::uint32_t cell_idx, std::int32_t id) {
   } else {
     cell.overflow.push_back(id);
   }
+  if (cell.size == 0) {
+    // 0 -> 1 transition: enter the occupied index the pair sweep walks.
+    cell.occ_idx = static_cast<std::uint32_t>(occupied_.size());
+    occupied_.push_back(cell_idx);
+  }
   ++cell.size;
   ++count_;
 }
@@ -85,7 +92,15 @@ void SpatialGrid::remove_member(std::uint32_t cell_idx, std::uint32_t slot) {
   }
   if (last >= Cell::kInline) cell.overflow.pop_back();
   --cell.size;
-  if (cell.size == 0) cell.emptied_epoch = epoch_;
+  if (cell.size == 0) {
+    cell.emptied_epoch = epoch_;
+    // 1 -> 0 transition: swap-remove from the occupied index.
+    const std::uint32_t tail = occupied_.back();
+    occupied_[cell.occ_idx] = tail;
+    cells_[tail].occ_idx = cell.occ_idx;
+    occupied_.pop_back();
+    cell.occ_idx = kNone;
+  }
   --count_;
 }
 
@@ -99,11 +114,35 @@ void SpatialGrid::clear() {
     if (cell.alive && cell.size > 0) {
       cell.size = 0;
       cell.overflow.clear();
+      cell.occ_idx = kNone;
       cell.emptied_epoch = epoch_;
     }
   }
+  occupied_.clear();
   std::fill(where_.begin(), where_.end(), Locator{});
   count_ = 0;
+}
+
+void SpatialGrid::reset() {
+  for (Cell& cell : cells_) {
+    cell.size = 0;
+    cell.overflow.clear();
+    cell.alive = false;
+    cell.key = 0;
+    cell.fwd[0] = cell.fwd[1] = cell.fwd[2] = cell.fwd[3] = kNone;
+    cell.occ_idx = kNone;
+    cell.emptied_epoch = 0;
+  }
+  occupied_.clear();
+  free_cells_.clear();
+  free_cells_.reserve(cells_.size());
+  for (std::size_t slot = cells_.size(); slot-- > 0;) {
+    free_cells_.push_back(static_cast<std::uint32_t>(slot));
+  }
+  index_.clear();  // keeps the bucket array
+  std::fill(where_.begin(), where_.end(), Locator{});
+  count_ = 0;
+  created_since_compact_ = 0;
 }
 
 void SpatialGrid::advance_epoch() { maintain(); }
@@ -152,6 +191,7 @@ void SpatialGrid::compact() {
   for (Locator& loc : where_) {
     if (loc.cell != kNone) loc.cell = remap[loc.cell];
   }
+  for (std::uint32_t& slot : occupied_) slot = remap[slot];
   created_since_compact_ = 0;
 }
 
@@ -284,17 +324,31 @@ void SpatialGrid::all_pairs_into(
     double radius, std::vector<std::pair<std::int32_t, std::int32_t>>& out) const {
   out.clear();
   const double r2 = radius * radius;
-  // Fast path: stream the cell storage in order (spatially sorted after
-  // compact(), so most forward neighbors are adjacent in memory), walking
-  // neighbors through the cached links — no hash lookups, no allocations
-  // past `out`'s high-water mark. Member positions come from the
-  // L1-resident pos_by_id_ array.
+  // Fast path: walk only the occupied cells through the cached forward
+  // links — no hash lookups, no allocations past `out`'s high-water mark,
+  // and no time spent streaming tracked-but-empty cells (on route-bound
+  // mobility those outnumber occupied cells by an order of magnitude).
+  // When most tracked cells ARE occupied, the occupied list's discovery
+  // order would only shuffle the compact()-sorted storage order, so dense
+  // grids keep the sequential storage walk (identical pair sets either
+  // way; order is unspecified per the header contract and callers sort).
+  // Member positions come from the L1-resident pos_by_id_ array.
   const Vec2* pos = pos_by_id_.data();
-  for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
-    if (ci + 1 < cells_.size()) {
+  // Prefer the sequential storage walk only when it is genuinely dense:
+  // most tracked cells occupied AND few dead high-water slots diluting the
+  // storage (after reset() a small scenario can inherit a large previous
+  // scenario's slab; streaming its dead slots every step would dwarf the
+  // handful of live cells).
+  const bool walk_all =
+      walk_all_cells_ || (occupied_.size() * 2 >= index_.size() &&
+                          cells_.size() < index_.size() * 2);
+  const std::size_t n_sweep = walk_all ? cells_.size() : occupied_.size();
+  for (std::size_t k = 0; k < n_sweep; ++k) {
+    const std::size_t ci = walk_all ? k : occupied_[k];
+    if (k + 1 < n_sweep) {
       // Hide the latency of the next cell's scattered neighbor loads behind
-      // this cell's pair work (the storage itself streams sequentially).
-      const Cell& next = cells_[ci + 1];
+      // this cell's pair work.
+      const Cell& next = cells_[walk_all ? k + 1 : occupied_[k + 1]];
       if (next.size != 0) {
         for (int d = 0; d < 4; ++d) {
           if (next.fwd[d] != kNone) __builtin_prefetch(&cells_[next.fwd[d]]);

@@ -15,6 +15,16 @@
 // is not already tracked. Cells that stay empty for kPruneAfter consecutive
 // epochs are pruned so long traces over unbounded terrain cannot grow the
 // structures forever.
+//
+// Pair sweeps walk the OCCUPIED-cell index (PR 3): cells enter/leave a
+// dense occupied list on their 0<->1 member transitions (cell crossings
+// only, O(1)), so all_pairs_into touches O(occupied) cells instead of
+// O(tracked). On route-structured mobility the tracked set is the union of
+// everywhere any node has recently been — easily 10-30x the cells occupied
+// at one instant (and periodic route revisits keep them from pruning), so
+// the sweep was dominated by streaming empty cells at campaign-sized node
+// counts. `walk_all_cells` restores the PR2-era full-storage sweep as an
+// in-binary benchmark baseline (identical pair sets, seed cost profile).
 #pragma once
 
 #include <cstdint>
@@ -28,10 +38,19 @@ namespace dtn::geo {
 
 class SpatialGrid {
  public:
-  explicit SpatialGrid(double cell_size);
+  /// `walk_all_cells` selects the pre-occupied-index pair sweep (bench
+  /// baseline only; pair sets are identical either way).
+  explicit SpatialGrid(double cell_size, bool walk_all_cells = false);
 
   /// Removes every point (cell structure and capacities are retained).
   void clear();
+  /// Removes every point AND every tracked cell, retaining only the vector
+  /// capacities. Unlike clear(), the next pass rediscovers its cell set
+  /// from scratch — the right call when the upcoming points live in a
+  /// different region (a World rebuilt for a different map/seed), where
+  /// clear()'s retained cells would be pure stale-iteration overhead for
+  /// the pair sweep until pruning catches up.
+  void reset();
   /// Adds a point. Ids must be non-negative and unique among the points
   /// currently present (positions live in an id-indexed side array so the
   /// pair sweep touches one cache line per cell).
@@ -75,6 +94,12 @@ class SpatialGrid {
   /// Number of distinct cells currently tracked (occupied or retained
   /// empty); exposed so tests can observe stale-cell pruning.
   [[nodiscard]] std::size_t cell_count() const noexcept { return index_.size(); }
+  /// Number of cells currently holding at least one point — the set the
+  /// pair sweep walks; exposed so tests can pin the occupied-index
+  /// bookkeeping.
+  [[nodiscard]] std::size_t occupied_cell_count() const noexcept {
+    return occupied_.size();
+  }
 
   /// A cell empty for this many consecutive epochs is pruned.
   static constexpr std::uint64_t kPruneAfter = 2048;
@@ -96,6 +121,7 @@ class SpatialGrid {
     std::uint32_t size = 0;
     std::uint64_t key = 0;
     std::uint32_t fwd[4] = {kNone, kNone, kNone, kNone};  ///< E, NE, N, NW
+    std::uint32_t occ_idx = kNone;    ///< position in occupied_ (kNone if empty)
     std::uint64_t emptied_epoch = 0;  ///< epoch the cell last became empty
     bool alive = false;
 
@@ -126,11 +152,13 @@ class SpatialGrid {
 
   double cell_;
   double inv_cell_;  // multiply instead of divide in the per-point hot path
+  bool walk_all_cells_ = false;  // bench baseline: sweep the whole storage
   std::size_t count_ = 0;
   std::uint64_t epoch_ = 0;
   std::size_t created_since_compact_ = 0;
   std::vector<Cell> cells_;                         // slot storage
   std::vector<std::uint32_t> free_cells_;           // free slots in cells_
+  std::vector<std::uint32_t> occupied_;             // cells with size > 0
   std::unordered_map<CellKey, std::uint32_t> index_;  // key -> slot
   std::vector<Locator> where_;                      // id -> location
   std::vector<Vec2> pos_by_id_;                     // id -> position

@@ -40,14 +40,28 @@ core::CommunityTable bus_scenario_communities(const geo::BusNetwork& net,
   return core::CommunityTable(std::move(cid));
 }
 
-ScenarioResult run_bus_scenario(const BusScenarioParams& params) {
+ScenarioRunner::ScenarioRunner() = default;
+ScenarioRunner::~ScenarioRunner() = default;
+ScenarioRunner::ScenarioRunner(ScenarioRunner&&) noexcept = default;
+ScenarioRunner& ScenarioRunner::operator=(ScenarioRunner&&) noexcept = default;
+
+sim::World& ScenarioRunner::prepare(const sim::WorldConfig& config) {
+  if (!world_) {
+    world_ = std::make_unique<sim::World>(config);
+  } else {
+    world_->reset(config);  // retains slabs, pools, grid cells, lanes
+  }
+  return *world_;
+}
+
+ScenarioResult ScenarioRunner::run(const BusScenarioParams& params) {
   const auto start = Clock::now();
 
   geo::DowntownParams map_params = params.map;
   map_params.seed = params.seed;  // map varies with the scenario seed
   const geo::BusNetwork net = geo::generate_downtown(map_params);
 
-  // Routes as shared polylines.
+  // Routes as shared polylines (seed-dependent, so rebuilt per run).
   std::vector<std::shared_ptr<const geo::Polyline>> routes;
   routes.reserve(net.routes.size());
   for (const auto& r : net.routes) {
@@ -63,16 +77,16 @@ ScenarioResult run_bus_scenario(const BusScenarioParams& params) {
 
   sim::WorldConfig world_config = params.world;
   world_config.seed = params.seed;
-  sim::World world(world_config);
+  sim::World& world = prepare(world_config);
 
   routing::ProtocolConfig protocol = params.protocol;
   protocol.communities = communities;
 
   for (int v = 0; v < params.node_count; ++v) {
     const std::size_t route_idx = static_cast<std::size_t>(v) % routes.size();
-    auto movement =
-        std::make_unique<mobility::BusMovement>(routes[route_idx], params.bus);
-    world.add_node(std::move(movement), routing::create_router(protocol));
+    // Spec-form add_node: the bus lane takes the route + params directly,
+    // no per-node heap movement object.
+    world.add_node(routes[route_idx], params.bus, routing::create_router(protocol));
   }
 
   sim::TrafficParams traffic = params.traffic;
@@ -90,6 +104,11 @@ ScenarioResult run_bus_scenario(const BusScenarioParams& params) {
   result.node_count = params.node_count;
   result.seed = params.seed;
   return result;
+}
+
+ScenarioResult run_bus_scenario(const BusScenarioParams& params) {
+  ScenarioRunner runner;
+  return runner.run(params);
 }
 
 core::CommunityTable detect_bus_communities(const BusScenarioParams& params,
@@ -116,7 +135,7 @@ core::CommunityTable detect_bus_communities(const BusScenarioParams& params,
   return core::detect_communities(graph, detection);
 }
 
-ScenarioResult run_community_scenario(const CommunityScenarioParams& params) {
+ScenarioResult ScenarioRunner::run(const CommunityScenarioParams& params) {
   const auto start = Clock::now();
 
   // Districts tiled left-to-right; community c owns one vertical band.
@@ -131,7 +150,7 @@ ScenarioResult run_community_scenario(const CommunityScenarioParams& params) {
 
   sim::WorldConfig world_config = params.world;
   world_config.seed = params.seed;
-  sim::World world(world_config);
+  sim::World& world = prepare(world_config);
 
   routing::ProtocolConfig protocol = params.protocol;
   protocol.communities = communities;
@@ -144,8 +163,7 @@ ScenarioResult run_community_scenario(const CommunityScenarioParams& params) {
     mp.home_min = {band * c, 0.0};
     mp.home_max = {band * (c + 1), params.world_size_m};
     mp.home_prob = params.home_prob;
-    world.add_node(std::make_unique<mobility::CommunityMovement>(mp),
-                   routing::create_router(protocol));
+    world.add_node(mp, routing::create_router(protocol));
   }
 
   sim::TrafficParams traffic = params.traffic;
@@ -163,6 +181,11 @@ ScenarioResult run_community_scenario(const CommunityScenarioParams& params) {
   result.node_count = params.node_count;
   result.seed = params.seed;
   return result;
+}
+
+ScenarioResult run_community_scenario(const CommunityScenarioParams& params) {
+  ScenarioRunner runner;
+  return runner.run(params);
 }
 
 }  // namespace dtn::harness

@@ -49,6 +49,33 @@ struct ScenarioResult {
 /// Runs one bus-map simulation to completion and reports its metrics.
 ScenarioResult run_bus_scenario(const BusScenarioParams& params);
 
+struct CommunityScenarioParams;
+
+/// Reusable scenario executor: owns one sim::World whose allocated capacity
+/// (buffer slabs, spatial-grid cells, adjacency/connection/transfer pools,
+/// movement lanes, metrics buckets) is retained across run() calls via
+/// World::reset(). A worker thread keeps one ScenarioRunner for a whole
+/// campaign, so per-run allocation work shrinks to what genuinely differs
+/// between runs (the seed-dependent map, router instances). Results are
+/// bit-identical to the free functions on a fresh World (enforced by
+/// integration_sweep_test).
+class ScenarioRunner {
+ public:
+  ScenarioRunner();
+  ~ScenarioRunner();
+  ScenarioRunner(ScenarioRunner&&) noexcept;
+  ScenarioRunner& operator=(ScenarioRunner&&) noexcept;
+
+  ScenarioResult run(const BusScenarioParams& params);
+  ScenarioResult run(const CommunityScenarioParams& params);
+
+ private:
+  /// Builds or resets the owned World for a fresh run under `config`.
+  sim::World& prepare(const sim::WorldConfig& config);
+
+  std::unique_ptr<sim::World> world_;
+};
+
 /// Community random-waypoint scenario (no map): `communities` districts
 /// tiled across the world, one CommunityMovement per node. Exercises CR on
 /// mobility that is community-structured but not route-structured.

@@ -1,21 +1,92 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <future>
 #include <map>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "util/thread_pool.hpp"
 
 namespace dtn::harness {
 
+namespace {
+
+struct Task {
+  std::size_t point;
+  std::string protocol;
+  int nodes;
+  std::uint64_t seed;
+};
+
+/// One run's scalar metric sample; folded into the PointResult
+/// accumulators in task order after the whole grid executed.
+struct SeedSample {
+  double delivery_ratio = 0.0;
+  double latency = 0.0;
+  double goodput = 0.0;
+  double control_mb = 0.0;
+  double relayed = 0.0;
+  double contacts = 0.0;
+};
+
+BusScenarioParams task_params(const SweepOptions& options, const Task& task) {
+  BusScenarioParams params = options.base;
+  params.protocol.name = task.protocol;
+  params.node_count = task.nodes;
+  params.seed = task.seed;
+  return params;
+}
+
+SeedSample sample_of(const ScenarioResult& run) {
+  SeedSample s;
+  s.delivery_ratio = run.metrics.delivery_ratio();
+  s.latency = run.metrics.latency_mean();
+  s.goodput = run.metrics.goodput();
+  s.control_mb = static_cast<double>(run.metrics.control_bytes()) / 1e6;
+  s.relayed = static_cast<double>(run.metrics.relayed());
+  s.contacts = static_cast<double>(run.contact_events);
+  return s;
+}
+
+std::string task_label(const Task& task) {
+  return task.protocol + "/n=" + std::to_string(task.nodes) +
+         "/seed=" + std::to_string(task.seed);
+}
+
+/// The pre-PR3 engine, kept verbatim as the bench_sweep baseline: a
+/// throwaway pool per call, one heap task + future per run, a fresh World
+/// per run, and a single merge mutex that also serializes the progress
+/// callback (the contention bug fixed in the reused engine).
+void run_sweep_legacy(const SweepOptions& options, const std::vector<Task>& tasks,
+                      std::vector<PointResult>& results) {
+  std::mutex merge_mutex;
+  util::ThreadPool pool(options.threads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    futures.push_back(pool.submit([&options, &tasks, &results, &merge_mutex, i] {
+      const Task& task = tasks[i];
+      const ScenarioResult run = run_bus_scenario(task_params(options, task));
+
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      PointResult& point = results[task.point];
+      point.delivery_ratio.add(run.metrics.delivery_ratio());
+      point.latency.add(run.metrics.latency_mean());
+      point.goodput.add(run.metrics.goodput());
+      point.control_mb.add(static_cast<double>(run.metrics.control_bytes()) / 1e6);
+      point.relayed.add(static_cast<double>(run.metrics.relayed()));
+      point.contacts.add(static_cast<double>(run.contact_events));
+      if (options.progress) options.progress(task_label(task));
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace
+
 std::vector<PointResult> run_sweep(const SweepOptions& options) {
-  struct Task {
-    std::size_t point;
-    std::string protocol;
-    int nodes;
-    std::uint64_t seed;
-  };
   std::vector<PointResult> results;
   std::vector<Task> tasks;
   for (const auto& protocol : options.protocols) {
@@ -34,29 +105,50 @@ std::vector<PointResult> run_sweep(const SweepOptions& options) {
     }
   }
 
-  std::mutex merge_mutex;
-  util::ThreadPool::parallel_for(
-      tasks.size(), options.threads, [&](std::size_t i) {
-        const Task& task = tasks[i];
-        BusScenarioParams params = options.base;
-        params.protocol.name = task.protocol;
-        params.node_count = task.nodes;
-        params.seed = task.seed;
-        const ScenarioResult run = run_bus_scenario(params);
+  if (options.exec == SweepOptions::Exec::kLegacy) {
+    run_sweep_legacy(options, tasks, results);
+    return results;
+  }
 
-        const std::lock_guard<std::mutex> lock(merge_mutex);
-        PointResult& point = results[task.point];
-        point.delivery_ratio.add(run.metrics.delivery_ratio());
-        point.latency.add(run.metrics.latency_mean());
-        point.goodput.add(run.metrics.goodput());
-        point.control_mb.add(static_cast<double>(run.metrics.control_bytes()) / 1e6);
-        point.relayed.add(static_cast<double>(run.metrics.relayed()));
-        point.contacts.add(static_cast<double>(run.contact_events));
-        if (options.progress) {
-          options.progress(task.protocol + "/n=" + std::to_string(task.nodes) +
-                           "/seed=" + std::to_string(task.seed));
-        }
-      });
+  std::size_t workers = options.threads != 0
+                            ? options.threads
+                            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, tasks.size());
+
+  // Per-task sample slots: runs write their own slot with no lock; the
+  // fold below is serial and in task order, so the aggregates cannot
+  // depend on thread count or completion order.
+  std::vector<SeedSample> samples(tasks.size());
+  std::mutex progress_mutex;
+  const auto run_task = [&](ScenarioRunner& runner, std::size_t i) {
+    samples[i] = sample_of(runner.run(task_params(options, tasks[i])));
+    if (options.progress) {
+      // Outside every merge path; serialized only against itself.
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      options.progress(task_label(tasks[i]));
+    }
+  };
+
+  if (workers <= 1) {
+    ScenarioRunner runner;  // one warm World for the entire grid
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_task(runner, i);
+  } else {
+    std::vector<ScenarioRunner> runners(workers);  // one warm World per worker
+    util::ThreadPool::shared().parallel_for(
+        tasks.size(), workers,
+        [&](std::size_t worker, std::size_t i) { run_task(runners[worker], i); });
+  }
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    PointResult& point = results[tasks[i].point];
+    const SeedSample& s = samples[i];
+    point.delivery_ratio.add(s.delivery_ratio);
+    point.latency.add(s.latency);
+    point.goodput.add(s.goodput);
+    point.control_mb.add(s.control_mb);
+    point.relayed.add(s.relayed);
+    point.contacts.add(s.contacts);
+  }
   return results;
 }
 

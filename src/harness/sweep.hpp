@@ -1,7 +1,19 @@
 // Sweep runner: executes a (protocol × node-count × seed) grid of bus
 // scenarios, aggregates per-point means across seeds, and prints
-// figure-style tables. Seeds fan out across a thread pool (Worlds share no
-// state).
+// figure-style tables.
+//
+// Execution engine (PR 3): runs fan out over the persistent shared thread
+// pool with chunked dispatch — no per-run task/future allocations — and
+// every worker keeps ONE ScenarioRunner whose World is reused (capacity
+// retained) across all the runs that worker executes. Per-run scalar
+// samples land in a per-task slot; the PointResult accumulators are folded
+// serially in task order after the loop, so sweep aggregates are
+// BIT-IDENTICAL for any thread count, any scheduling, and fresh- vs
+// reused-world execution (enforced by integration_sweep_test). The
+// progress callback fires outside any merge path, serialized only against
+// itself. SweepOptions::exec = kLegacy keeps the pre-PR3 engine (throwaway
+// pool, one heap task + future per run, fresh World per run, mutex-
+// serialized merge + progress) in the same binary as the bench baseline.
 #pragma once
 
 #include <functional>
@@ -34,9 +46,16 @@ struct SweepOptions {
   int seeds = 2;
   std::uint64_t seed_base = 1000;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// kReused (default): persistent pool, chunked dispatch, reusable
+  /// per-worker Worlds, deterministic task-order fold. kLegacy: the pre-PR3
+  /// execution path, kept for A/B benchmarking (bench_sweep).
+  enum class Exec { kReused, kLegacy };
+  Exec exec = Exec::kReused;
   /// Applied to every point before protocol/node count are overlaid.
   BusScenarioParams base;
-  /// Optional progress callback (point label) invoked as points finish.
+  /// Optional progress callback (point label) invoked as runs finish.
+  /// May fire from worker threads; calls are serialized against each other
+  /// but never hold any merge/result lock.
   std::function<void(const std::string&)> progress;
 };
 

@@ -32,6 +32,12 @@ class BusMovement final : public MovementModel {
   /// Distance cursor along the route (for tests / trace dumps).
   [[nodiscard]] double cursor() const noexcept { return cursor_; }
 
+  /// Parameter block / route (MovementEngine extracts them into a lane).
+  [[nodiscard]] const BusParams& params() const noexcept { return params_; }
+  [[nodiscard]] const std::shared_ptr<const geo::Polyline>& route() const noexcept {
+    return route_;
+  }
+
  private:
   std::shared_ptr<const geo::Polyline> route_;
   BusParams params_;

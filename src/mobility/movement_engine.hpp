@@ -1,0 +1,137 @@
+// Batched movement kernel: executes every node's trajectory out of
+// structure-of-arrays state instead of one heap-allocated virtual
+// MovementModel per node.
+//
+// The three hot models (random waypoint, community waypoint, bus) get
+// dedicated lanes: their per-node state (position, target, speed, pause
+// timer, route cursor) lives in dense parallel vectors that step_all()
+// walks linearly — no virtual dispatch, no pointer chase into scattered
+// model objects, and all positions land in one contiguous array the
+// contact detector reads back. Waypoint/stop events pull their whole
+// random block (pause, target, speed) from the node's stream in a single
+// batched fill_doubles() call. Any other MovementModel (trace playback,
+// stationary, test scripts, user models) runs unchanged in a fallback lane
+// that keeps the object and calls its virtual step().
+//
+// Equivalence contract: for the three lane models the kernel performs the
+// exact arithmetic of the legacy classes (mobility/random_waypoint.cpp,
+// community_movement.cpp, bus_movement.cpp) in the exact stream order, so
+// trajectories are bit-identical to the per-object path
+// (sim_movement_engine_test enforces this; WorldConfig::legacy_movement_path
+// keeps the per-object path alive in the same binary for A/B benchmarks).
+//
+// clear() drops all nodes but retains every lane's capacity, so a World
+// rebuilt across sweep seeds re-registers its nodes without allocating.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geo/polyline.hpp"
+#include "geo/vec2.hpp"
+#include "mobility/bus_movement.hpp"
+#include "mobility/community_movement.hpp"
+#include "mobility/movement_model.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "util/rng.hpp"
+
+namespace dtn::mobility {
+
+class MovementEngine {
+ public:
+  /// Registers node `size()` with an explicit lane; returns the node index.
+  int add_waypoint(const RandomWaypointParams& params);
+  int add_community(const CommunityMovementParams& params);
+  int add_bus(std::shared_ptr<const geo::Polyline> route, const BusParams& params);
+  /// Fallback lane: keeps the model object, steps it virtually.
+  int add_custom(MovementModelPtr model);
+  /// Routes known model types (RandomWaypoint / CommunityMovement /
+  /// BusMovement) into their lanes, extracting their parameters and
+  /// discarding the object; anything else goes to the custom lane.
+  int add(MovementModelPtr model);
+
+  /// (Re)initializes node `node`'s trajectory from its movement stream at
+  /// `start_time` — same draws, same order as the legacy model's init().
+  /// Called once after add_*() and again on every World reseed.
+  void init_node(int node, util::Pcg32 rng, double start_time);
+
+  /// Advances every trajectory from `now` to `now + dt`.
+  void step_all(double now, double dt);
+
+  /// All node positions, indexed by node. Updated by step_all()/init_node().
+  [[nodiscard]] const std::vector<geo::Vec2>& positions() const noexcept {
+    return pos_;
+  }
+  [[nodiscard]] geo::Vec2 position(int node) const {
+    return pos_[static_cast<std::size_t>(node)];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return pos_.size(); }
+
+  /// Drops every node, retaining lane capacity (custom-lane model objects
+  /// are the only thing freed).
+  void clear();
+
+ private:
+  enum class Kind : std::uint8_t { kWaypoint, kCommunity, kBus, kCustom };
+
+  /// Shared waypoint-lane parameters. `community == true` adds the
+  /// home-rectangle Bernoulli pick (CommunityMovement); otherwise the home
+  /// fields are unused and every draw targets the world rectangle.
+  struct WpSpec {
+    geo::Vec2 world_min, world_max;
+    geo::Vec2 home_min, home_max;
+    double home_prob = 0.0;
+    double speed_min = 0.0, speed_max = 0.0;
+    double pause_min = 0.0, pause_max = 0.0;
+    bool community = false;
+    std::uint8_t arrival_draws = 4;  ///< doubles consumed per waypoint event
+  };
+
+  /// One waypoint pick decoded from pre-drawn uniforms starting at u[j]:
+  /// optional home-rectangle Bernoulli gate, then target.x, target.y,
+  /// speed — the single definition of the legacy pick_waypoint() draw
+  /// block, shared by lane init and arrival events so the RNG-stream
+  /// contract cannot fork between them.
+  struct WpPick {
+    geo::Vec2 target;
+    double speed;
+  };
+  static WpPick pick_waypoint(const WpSpec& spec, const double* u, std::size_t j);
+
+  void init_waypoint(std::size_t lane, int node, double start_time);
+  void init_bus(std::size_t lane, int node, double start_time);
+  void step_waypoints(double now, double dt);
+  void step_buses(double now, double dt);
+
+  // ---- per-node (index == node id) ----
+  std::vector<geo::Vec2> pos_;
+  std::vector<Kind> kind_;
+  std::vector<std::uint32_t> lane_;
+
+  // ---- waypoint + community lanes ----
+  std::vector<std::int32_t> wp_node_;
+  std::vector<WpSpec> wp_spec_;
+  std::vector<geo::Vec2> wp_target_;
+  std::vector<double> wp_speed_;
+  std::vector<double> wp_pause_until_;
+  std::vector<util::Pcg32> wp_rng_;
+
+  // ---- bus lanes ----
+  std::vector<std::int32_t> bus_node_;
+  std::vector<std::shared_ptr<const geo::Polyline>> bus_route_;
+  std::vector<BusParams> bus_params_;
+  std::vector<double> bus_cursor_;
+  std::vector<double> bus_next_stop_;
+  std::vector<double> bus_speed_;
+  std::vector<double> bus_pause_until_;
+  std::vector<std::uint32_t> bus_seg_hint_;  ///< point_at_hinted() cache
+  std::vector<util::Pcg32> bus_rng_;
+
+  // ---- custom lane ----
+  std::vector<std::int32_t> cust_node_;
+  std::vector<MovementModelPtr> cust_model_;
+};
+
+}  // namespace dtn::mobility

@@ -25,6 +25,9 @@ class RandomWaypoint final : public MovementModel {
   void step(double now, double dt) override;
   [[nodiscard]] geo::Vec2 position() const override { return pos_; }
 
+  /// Parameter block (MovementEngine extracts it into an SoA lane).
+  [[nodiscard]] const RandomWaypointParams& params() const noexcept { return params_; }
+
  private:
   void pick_waypoint();
 

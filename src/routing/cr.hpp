@@ -34,6 +34,14 @@ class CrRouter final : public sim::Router {
   [[nodiscard]] std::string name() const override { return "CR"; }
   [[nodiscard]] int initial_replicas() const override { return params_.copies; }
 
+  void reset() override {
+    history_.clear();
+    if (mi_intra_) mi_intra_->reset();
+    intra_dist_.clear();
+    intra_dist_version_ = ~0ULL;
+    intra_dist_bucket_ = -1;
+  }
+
   void on_contact_up(sim::NodeIdx peer) override;
   void on_message_created(const sim::Message& m) override;
   void on_message_received(const sim::StoredMessage& sm, sim::NodeIdx from) override;

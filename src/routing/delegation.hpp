@@ -20,6 +20,11 @@ class DelegationRouter final : public sim::Router {
  public:
   [[nodiscard]] std::string name() const override { return "Delegation"; }
 
+  void reset() override {
+    last_met_.clear();
+    levels_ = {};  // exact fresh-map state (reseed bit-identity contract)
+  }
+
   void on_contact_up(sim::NodeIdx peer) override;
   void on_message_created(const sim::Message& m) override;
   void on_message_received(const sim::StoredMessage& sm, sim::NodeIdx from) override;

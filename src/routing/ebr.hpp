@@ -27,6 +27,12 @@ class EbrRouter final : public sim::Router {
   [[nodiscard]] std::string name() const override { return "EBR"; }
   [[nodiscard]] int initial_replicas() const override { return params_.copies; }
 
+  void reset() override {
+    ev_ = 0.0;
+    current_window_contacts_ = 0;
+    window_end_ = -1.0;
+  }
+
   void on_contact_up(sim::NodeIdx peer) override;
   void on_message_created(const sim::Message& m) override;
   void on_tick(double now) override;

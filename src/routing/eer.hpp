@@ -38,6 +38,12 @@ class EerRouter final : public sim::Router {
   [[nodiscard]] std::string name() const override { return "EER"; }
   [[nodiscard]] int initial_replicas() const override { return params_.copies; }
 
+  void reset() override {
+    history_.clear();
+    if (mi_) mi_->reset();
+    memd_cache_.reset();
+  }
+
   void on_contact_up(sim::NodeIdx peer) override;
   void on_message_created(const sim::Message& m) override;
   void on_message_received(const sim::StoredMessage& sm, sim::NodeIdx from) override;

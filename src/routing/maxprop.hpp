@@ -31,6 +31,18 @@ class MaxPropRouter final : public sim::Router {
 
   [[nodiscard]] std::string name() const override { return "MaxProp"; }
 
+  void reset() override {
+    f_own_.clear();
+    // Fresh-container assignment (not .clear()): both maps are iterated —
+    // f_known_ when rebuilding the cost graph, acked_ during the ack-union
+    // exchange — and retained bucket arrays could reorder that iteration
+    // relative to a freshly built router (reseed bit-identity contract).
+    f_known_ = {};
+    acked_ = {};
+    cost_.clear();
+    cost_dirty_ = true;
+  }
+
   void on_contact_up(sim::NodeIdx peer) override;
   void on_message_created(const sim::Message& m) override;
   void on_message_received(const sim::StoredMessage& sm, sim::NodeIdx from) override;

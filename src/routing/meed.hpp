@@ -26,6 +26,13 @@ class MeedRouter final : public sim::Router {
 
   [[nodiscard]] std::string name() const override { return "MEED"; }
 
+  void reset() override {
+    history_.clear();
+    if (mi_) mi_->reset();
+    dist_.clear();
+    dist_version_ = ~0ULL;
+  }
+
   void on_contact_up(sim::NodeIdx peer) override;
   void on_message_created(const sim::Message& m) override;
 

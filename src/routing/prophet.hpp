@@ -28,6 +28,11 @@ class ProphetRouter final : public sim::Router {
 
   [[nodiscard]] std::string name() const override { return "PRoPHET"; }
 
+  void reset() override {
+    p_.clear();
+    last_aging_ = 0.0;
+  }
+
   void on_contact_up(sim::NodeIdx peer) override;
   void on_message_created(const sim::Message& m) override;
 

@@ -31,6 +31,8 @@ class SprayAndFocusRouter final : public SprayAndWaitRouter {
 
   [[nodiscard]] std::string name() const override { return "SprayAndFocus"; }
 
+  void reset() override { last_seen_.clear(); }
+
   void on_contact_up(sim::NodeIdx peer) override;
 
   /// Timer value (last time this node "heard of" node d); -inf if never.

@@ -5,6 +5,27 @@ namespace dtn::sim {
 Buffer::Buffer(std::int64_t capacity_bytes, bool legacy_store)
     : capacity_(capacity_bytes), legacy_(legacy_store) {}
 
+void Buffer::reset(std::int64_t capacity_bytes, bool legacy_store) {
+  capacity_ = capacity_bytes;
+  used_ = 0;
+  count_ = 0;
+  legacy_ = legacy_store;
+  legacy_store_.clear();
+  legacy_index_.clear();
+  // Thread every existing slot (live or vacant) onto the free list so the
+  // slab is recycled rather than freed.
+  head_ = tail_ = kNoHandle;
+  free_head_ = kNoHandle;
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    Slot& slot = slots_[i];
+    slot.sm.msg.id = kInvalidMsg;
+    slot.prev = kNoHandle;
+    slot.next = free_head_;
+    free_head_ = static_cast<Handle>(i);
+  }
+  index_.clear();
+}
+
 bool Buffer::contains(MsgId id) const noexcept {
   if (legacy_) return legacy_index_.count(id) > 0;
   return index_find(id) != kNoHandle;

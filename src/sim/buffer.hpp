@@ -52,6 +52,14 @@ class Buffer {
 
   explicit Buffer(std::int64_t capacity_bytes, bool legacy_store = false);
 
+  /// Empties the store and applies a (possibly new) capacity/mode, while
+  /// RETAINING the slab and index storage: every existing slot goes back on
+  /// the free list, so a buffer reused across simulation runs re-reaches
+  /// its high-water message count without a single heap allocation. All
+  /// handles and iterators are invalidated. Observable behavior afterwards
+  /// is identical to a freshly constructed Buffer.
+  void reset(std::int64_t capacity_bytes, bool legacy_store = false);
+
   [[nodiscard]] std::int64_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::int64_t used() const noexcept { return used_; }
   [[nodiscard]] std::int64_t free_bytes() const noexcept { return capacity_ - used_; }

@@ -8,6 +8,7 @@
 // as the empty-cell sentinel.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,14 @@ class FlatIdTable {
   /// Entries currently stored.
   [[nodiscard]] std::size_t size() const noexcept { return used_; }
   [[nodiscard]] bool empty() const noexcept { return used_ == 0; }
+
+  /// Removes every entry, retaining the allocated table (the World's
+  /// cross-seed reuse path clears per-node bags without freeing them).
+  void clear() noexcept {
+    if (used_ == 0) return;
+    std::fill(ids_.begin(), ids_.end(), kEmpty);
+    used_ = 0;
+  }
 
   /// nullptr when absent. Valid until the next insert/erase.
   [[nodiscard]] Value* find(MsgId id) noexcept {

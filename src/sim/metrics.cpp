@@ -2,6 +2,17 @@
 
 namespace dtn::sim {
 
+void Metrics::reset() {
+  created_ = relayed_ = started_ = aborted_ = dropped_ = expired_ = 0;
+  control_bytes_ = 0;
+  // Bucket-retaining clear is safe here (unlike ContactHistory::clear):
+  // delivery_time_ is only probed and counted, never iterated, so its
+  // bucket count cannot influence any observable order.
+  delivery_time_.clear();
+  latency_.reset();
+  hops_.reset();
+}
+
 void Metrics::on_created(const Message& /*m*/) { ++created_; }
 
 void Metrics::on_relayed() { ++relayed_; }

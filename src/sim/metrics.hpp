@@ -16,6 +16,11 @@ namespace dtn::sim {
 
 class Metrics {
  public:
+  /// Returns to the just-constructed state, retaining container capacity
+  /// (the delivery map's bucket array survives), so a World reused across
+  /// sweep seeds does not re-grow its metrics storage every run.
+  void reset();
+
   void on_created(const Message& m);
   /// Records a completed transfer (a "relay" in the paper's goodput sense).
   void on_relayed();

@@ -32,6 +32,14 @@ class Router {
   /// Called once by the World when the node is added.
   void attach(World* world, NodeIdx self);
 
+  /// Restores the router to its just-constructed (and attached) state —
+  /// World::reseed() reuses router instances across simulation runs.
+  /// Stateless protocols inherit this no-op; stateful ones must clear ALL
+  /// learned state (retaining container capacity where possible) so a
+  /// reseeded run is bit-identical to a freshly built one (enforced per
+  /// protocol by integration_sweep_test's world-reuse differential).
+  virtual void reset() {}
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Replica quota attached to messages originating at this node (λ for

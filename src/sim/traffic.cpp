@@ -5,8 +5,15 @@
 namespace dtn::sim {
 
 TrafficGenerator::TrafficGenerator(TrafficParams params, util::Pcg32 rng,
-                                   NodeIdx node_count)
-    : params_(params), rng_(rng), node_count_(node_count) {
+                                   NodeIdx node_count) {
+  reset(params, rng, node_count);
+}
+
+void TrafficGenerator::reset(TrafficParams params, util::Pcg32 rng,
+                             NodeIdx node_count) {
+  params_ = params;
+  rng_ = rng;
+  node_count_ = node_count;
   next_time_ = params_.start +
                rng_.uniform(params_.interval_min, params_.interval_max);
   if (next_time_ > params_.stop || node_count_ < 2) {

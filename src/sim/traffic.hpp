@@ -25,6 +25,11 @@ class TrafficGenerator {
  public:
   TrafficGenerator(TrafficParams params, util::Pcg32 rng, NodeIdx node_count);
 
+  /// Restarts the schedule in place — identical to constructing a fresh
+  /// generator with the same arguments, but without an allocation (the
+  /// World's cross-seed reuse path).
+  void reset(TrafficParams params, util::Pcg32 rng, NodeIdx node_count);
+
   /// Time of the next creation event, or +inf when exhausted.
   [[nodiscard]] double next_time() const noexcept { return next_time_; }
 

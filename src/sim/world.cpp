@@ -9,33 +9,180 @@
 namespace dtn::sim {
 
 World::World(WorldConfig config)
-    : config_(config), next_sweep_(config.ttl_sweep_interval), grid_(config.radio_range) {}
+    : config_(config),
+      next_sweep_(config.ttl_sweep_interval),
+      grid_(config.radio_range, config.legacy_pair_sweep) {}
 
 World::~World() = default;
 
 NodeIdx World::add_node(mobility::MovementModelPtr movement,
                         std::unique_ptr<Router> router) {
+  const int engine_node = config_.legacy_movement_path
+                              ? engine_.add_custom(std::move(movement))
+                              : engine_.add(std::move(movement));
+  return add_node_common(engine_node, std::move(router));
+}
+
+NodeIdx World::add_node(const mobility::RandomWaypointParams& movement,
+                        std::unique_ptr<Router> router) {
+  const int engine_node =
+      config_.legacy_movement_path
+          ? engine_.add_custom(std::make_unique<mobility::RandomWaypoint>(movement))
+          : engine_.add_waypoint(movement);
+  return add_node_common(engine_node, std::move(router));
+}
+
+NodeIdx World::add_node(const mobility::CommunityMovementParams& movement,
+                        std::unique_ptr<Router> router) {
+  const int engine_node =
+      config_.legacy_movement_path
+          ? engine_.add_custom(std::make_unique<mobility::CommunityMovement>(movement))
+          : engine_.add_community(movement);
+  return add_node_common(engine_node, std::move(router));
+}
+
+NodeIdx World::add_node(std::shared_ptr<const geo::Polyline> route,
+                        const mobility::BusParams& movement,
+                        std::unique_ptr<Router> router) {
+  const int engine_node =
+      config_.legacy_movement_path
+          ? engine_.add_custom(
+                std::make_unique<mobility::BusMovement>(std::move(route), movement))
+          : engine_.add_bus(std::move(route), movement);
+  return add_node_common(engine_node, std::move(router));
+}
+
+NodeIdx World::add_node_common(int engine_node, std::unique_ptr<Router> router) {
   assert(!started_ && "nodes must be added before run()");
-  const auto idx = static_cast<NodeIdx>(nodes_.size());
+  const auto idx = static_cast<NodeIdx>(engine_node);
   auto rng = util::derive_stream(config_.seed, static_cast<std::uint64_t>(idx),
                                  util::StreamPurpose::kRouting);
-  nodes_.emplace_back(std::move(movement), std::move(router), config_.buffer_bytes,
-                      config_.legacy_buffer_path, rng);
-  adjacency_.emplace_back();
-  inbound_queued_.emplace_back();
-  Node& node = nodes_.back();
+  if (rebuilding_ && static_cast<std::size_t>(idx) < nodes_.size()) {
+    // Recycled slot: swap in the run's router, clear the per-node state in
+    // place (buffer slab, adjacency, inbound bag all keep their capacity).
+    Node& node = nodes_[static_cast<std::size_t>(idx)];
+    node.router = std::move(router);
+    node.buffer.reset(config_.buffer_bytes, config_.legacy_buffer_path);
+    node.routing_rng = rng;
+    Adjacency& adj = adjacency_[static_cast<std::size_t>(idx)];
+    adj.peers.clear();
+    adj.slots.clear();
+    inbound_queued_[static_cast<std::size_t>(idx)].clear();
+  } else {
+    nodes_.emplace_back(std::move(router), config_.buffer_bytes,
+                        config_.legacy_buffer_path, rng);
+    adjacency_.emplace_back();
+    inbound_queued_.emplace_back();
+  }
+  if (rebuilding_) rebuild_cursor_ = static_cast<std::size_t>(idx) + 1;
+  Node& node = nodes_[static_cast<std::size_t>(idx)];
   node.router->attach(this, idx);
-  auto move_rng = util::derive_stream(config_.seed, static_cast<std::uint64_t>(idx),
-                                      util::StreamPurpose::kMovement);
-  node.movement->init(move_rng, 0.0);
-  node.pos = node.movement->position();
+  engine_.init_node(engine_node,
+                    util::derive_stream(config_.seed, static_cast<std::uint64_t>(idx),
+                                        util::StreamPurpose::kMovement),
+                    0.0);
   return idx;
 }
 
 void World::set_traffic(const TrafficParams& params) {
+  finalize_rebuild();
+  traffic_params_ = params;
+  has_traffic_ = true;
   auto rng = util::derive_stream(config_.seed, 0, util::StreamPurpose::kTraffic);
-  traffic_ = std::make_unique<TrafficGenerator>(params, rng,
-                                                static_cast<NodeIdx>(nodes_.size()));
+  if (traffic_) {
+    traffic_->reset(params, rng, static_cast<NodeIdx>(nodes_.size()));
+  } else {
+    traffic_ = std::make_unique<TrafficGenerator>(params, rng,
+                                                  static_cast<NodeIdx>(nodes_.size()));
+  }
+}
+
+void World::clear_sim_state() {
+  now_ = 0.0;
+  step_count_ = 0;
+  next_sweep_ = config_.ttl_sweep_interval;
+  started_ = false;
+  for (Connection& conn : conn_pool_) {
+    conn.queue.clear();
+    conn.alive = false;
+    conn.a = conn.b = -1;
+    conn.active_idx = kNoSlot;
+  }
+  free_slots_.clear();
+  free_slots_.reserve(conn_pool_.size());  // one-time growth on first reuse
+  for (std::size_t s = conn_pool_.size(); s-- > 0;) {
+    free_slots_.push_back(static_cast<std::uint32_t>(s));
+  }
+  live_connections_ = 0;
+  prev_pairs_.clear();
+  active_slots_.clear();
+  metrics_.reset();
+  contact_events_ = 0;
+  next_msg_id_ = 0;
+}
+
+void World::reset(const WorldConfig& config) {
+  const double old_range = config_.radio_range;
+  const bool old_sweep = config_.legacy_pair_sweep;
+  config_ = config;
+  if (config_.radio_range != old_range ||
+      config_.legacy_pair_sweep != old_sweep) {
+    // Cell size must match the radio range (and the sweep mode is fixed at
+    // grid construction).
+    grid_ = geo::SpatialGrid(config_.radio_range, config_.legacy_pair_sweep);
+  } else {
+    // Full cell reset: the rebuilt scenario's map (and thus its occupied
+    // region) may differ, and clear()-retained foreign cells would slow
+    // every pair sweep until pruning catches up.
+    grid_.reset();
+  }
+  clear_sim_state();
+  engine_.clear();
+  has_traffic_ = false;  // re-armed by the next set_traffic(), if any
+  rebuilding_ = true;
+  rebuild_cursor_ = 0;
+}
+
+void World::reseed(std::uint64_t seed) {
+  finalize_rebuild();  // self-heal like run()/step(): trim a pending rebuild
+  config_.seed = seed;
+  // Points-only clear: the scenario structure (and so the roamed region)
+  // is unchanged, so the discovered cell set stays warm.
+  grid_.clear();
+  clear_sim_state();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    node.buffer.reset(config_.buffer_bytes, config_.legacy_buffer_path);
+    node.routing_rng = util::derive_stream(seed, static_cast<std::uint64_t>(i),
+                                           util::StreamPurpose::kRouting);
+    node.router->reset();
+    Adjacency& adj = adjacency_[i];
+    adj.peers.clear();
+    adj.slots.clear();
+    inbound_queued_[i].clear();
+    engine_.init_node(static_cast<int>(i),
+                      util::derive_stream(seed, static_cast<std::uint64_t>(i),
+                                          util::StreamPurpose::kMovement),
+                      0.0);
+  }
+  if (has_traffic_) {
+    traffic_->reset(traffic_params_,
+                    util::derive_stream(seed, 0, util::StreamPurpose::kTraffic),
+                    static_cast<NodeIdx>(nodes_.size()));
+  }
+}
+
+void World::finalize_rebuild() {
+  if (!rebuilding_) return;
+  rebuilding_ = false;
+  if (rebuild_cursor_ < nodes_.size()) {
+    // The rebuilt scenario has fewer nodes: drop the surplus slots (their
+    // capacity is the one thing a shrinking rebuild cannot keep).
+    nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(rebuild_cursor_),
+                 nodes_.end());
+    adjacency_.resize(rebuild_cursor_);
+    inbound_queued_.resize(rebuild_cursor_);
+  }
 }
 
 std::uint64_t World::pair_key(NodeIdx a, NodeIdx b) noexcept {
@@ -61,7 +208,7 @@ const Router& World::router_of(NodeIdx node) const {
 }
 
 geo::Vec2 World::position_of(NodeIdx node) const {
-  return nodes_.at(static_cast<std::size_t>(node)).pos;
+  return engine_.positions().at(static_cast<std::size_t>(node));
 }
 
 util::Pcg32& World::routing_rng(NodeIdx node) {
@@ -155,6 +302,7 @@ void World::unindex_inbound(const Transfer& tr) {
 }
 
 void World::inject_message(const Message& m) {
+  finalize_rebuild();
   assert(m.src >= 0 && m.src < node_count());
   assert(m.dst >= 0 && m.dst < node_count());
   metrics_.on_created(m);
@@ -192,12 +340,14 @@ bool World::make_room(NodeIdx node, const Message& msg) {
 }
 
 void World::run(double duration) {
+  finalize_rebuild();
   started_ = true;
   const auto steps = static_cast<std::int64_t>(std::ceil(duration / config_.step_dt));
   for (std::int64_t i = 0; i < steps; ++i) step();
 }
 
 void World::step() {
+  finalize_rebuild();
   started_ = true;
   now_ += config_.step_dt;
   ++step_count_;
@@ -218,10 +368,7 @@ void World::step() {
 
 void World::move_nodes() {
   const double dt = config_.step_dt;
-  for (auto& node : nodes_) {
-    node.movement->step(now_ - dt, dt);
-    node.pos = node.movement->position();
-  }
+  engine_.step_all(now_ - dt, dt);
 }
 
 void World::link_up(NodeIdx a, NodeIdx b) {
@@ -290,10 +437,13 @@ void World::sort_pair_keys(std::vector<std::uint64_t>& keys) {
 }
 
 void World::detect_contacts() {
-  // Incremental grid maintenance: only boundary crossings touch cells.
+  // Incremental grid maintenance: only boundary crossings touch cells. The
+  // engine's contiguous position array feeds the grid without touching the
+  // Node structs at all.
   grid_.advance_epoch();
+  const std::vector<geo::Vec2>& pos = engine_.positions();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    grid_.update(static_cast<NodeIdx>(i), nodes_[i].pos);
+    grid_.update(static_cast<NodeIdx>(i), pos[i]);
   }
   grid_.all_pairs_into(config_.radio_range, pair_scratch_);
   curr_pairs_.clear();
@@ -327,8 +477,9 @@ void World::detect_contacts_legacy() {
   // are applied through the same link_up/link_down helpers in the same
   // order as the incremental path, so both paths are behaviorally identical.
   grid_.clear();
+  const std::vector<geo::Vec2>& pos = engine_.positions();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    grid_.insert(static_cast<NodeIdx>(i), nodes_[i].pos);
+    grid_.insert(static_cast<NodeIdx>(i), pos[i]);
   }
   auto pairs = grid_.all_pairs(config_.radio_range);
   std::sort(pairs.begin(), pairs.end());  // deterministic callback order
@@ -483,7 +634,7 @@ void World::complete_transfer(Transfer& tr) {
 }
 
 void World::generate_traffic() {
-  if (!traffic_) return;
+  if (!has_traffic_) return;
   while (traffic_->next_time() <= now_) {
     const Message m = traffic_->pop(next_msg_id_++);
     inject_message(m);

@@ -21,6 +21,26 @@
 // `WorldConfig::legacy_contact_path` re-enables the seed's full-rescan
 // algorithm (same observable behavior, seed cost profile) so benchmarks can
 // measure both in one binary.
+//
+// Movement (SoA since PR 3): node trajectories execute inside a
+// mobility::MovementEngine — positions and per-model state in dense
+// structure-of-arrays lanes, batched RNG draws per waypoint event, and no
+// per-node virtual dispatch for the waypoint/community/bus models.
+// `WorldConfig::legacy_movement_path` keeps the per-object virtual path in
+// the same binary (bit-identical trajectories, seed cost profile).
+//
+// Cross-run reuse (PR 3): one World can execute many simulation runs while
+// RETAINING its allocated capacity — buffer slabs, spatial-grid cells,
+// adjacency/connection/transfer pools, movement lanes, metrics buckets:
+//   - reset(config) + add_node(...) per node + set_traffic/run rebuilds the
+//     world for a possibly different scenario (node count, protocol, map);
+//     node slots are recycled in order, so only genuinely new state (router
+//     objects, larger high-water marks) allocates;
+//   - reseed(seed) restarts the CURRENT node set under a new seed with ~0
+//     allocations: movement re-initialized in place, routers reset via
+//     Router::reset(), buffers/metrics/traffic cleared in place.
+// Both paths are bit-identical to building a fresh World with the same
+// arguments (enforced by integration_sweep_test + sim_alloc_regression_test).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +49,7 @@
 #include <vector>
 
 #include "geo/spatial_grid.hpp"
+#include "mobility/movement_engine.hpp"
 #include "mobility/movement_model.hpp"
 #include "sim/buffer.hpp"
 #include "sim/flat_id_table.hpp"
@@ -56,6 +77,15 @@ struct WorldConfig {
   /// behavior is identical (enforced by sim_buffer_equivalence_test); only
   /// for benchmarking the slab against its predecessor. Set before add_node().
   bool legacy_buffer_path = false;
+  /// Seed-style movement path: every node keeps its heap MovementModel and
+  /// steps through virtual dispatch instead of the SoA kernel. Trajectories
+  /// are bit-identical (enforced by sim_movement_engine_test); only for
+  /// benchmarking the SoA kernel. Set before add_node().
+  bool legacy_movement_path = false;
+  /// PR2-era pair sweep: detection streams every tracked grid cell instead
+  /// of the occupied-cell index. Identical pair sets / observable behavior;
+  /// only for benchmarking the occupied-index sweep. Set before run().
+  bool legacy_pair_sweep = false;
 };
 
 class World {
@@ -66,10 +96,37 @@ class World {
   World& operator=(const World&) = delete;
 
   /// Adds a node; returns its index. All nodes must be added before run().
+  /// Known model types (RandomWaypoint / CommunityMovement / BusMovement)
+  /// are unpacked into the SoA movement lanes; others step virtually.
   NodeIdx add_node(mobility::MovementModelPtr movement, std::unique_ptr<Router> router);
+  /// Allocation-free registration forms: the movement spec goes straight
+  /// into its SoA lane with no intermediate heap model object. Preferred by
+  /// the harness/bench hot paths (world rebuilds across sweep seeds).
+  NodeIdx add_node(const mobility::RandomWaypointParams& movement,
+                   std::unique_ptr<Router> router);
+  NodeIdx add_node(const mobility::CommunityMovementParams& movement,
+                   std::unique_ptr<Router> router);
+  NodeIdx add_node(std::shared_ptr<const geo::Polyline> route,
+                   const mobility::BusParams& movement, std::unique_ptr<Router> router);
 
   /// Installs the network-wide traffic generator (optional; at most one).
   void set_traffic(const TrafficParams& params);
+
+  // ---- cross-run reuse (see header comment) ----
+  /// Clears ALL simulation state and the node set while retaining every
+  /// allocated pool, and applies a (possibly different) config. The caller
+  /// then re-registers nodes with add_node() — slots are recycled in
+  /// registration order — and optionally set_traffic(), exactly like on a
+  /// fresh World. Runs are bit-identical to a fresh World(config) build.
+  void reset(const WorldConfig& config);
+  /// Restarts the CURRENT node set under a new seed: per-node RNG streams
+  /// re-derived, movement re-initialized in place, routers reset via
+  /// Router::reset(), buffers/metrics/contact state/traffic cleared with
+  /// their capacity retained. Requires a completed node set (not mid-
+  /// rebuild); structure (node count, movement specs, router instances,
+  /// traffic params) is unchanged. ~0 heap allocations; bit-identical to a
+  /// fresh build of the same scenario with the new seed.
+  void reseed(std::uint64_t seed);
 
   /// Runs the simulation until `duration` seconds of simulated time.
   void run(double duration);
@@ -183,17 +240,16 @@ class World {
     std::vector<std::uint32_t> slots;
   };
 
+  /// Per-node simulation state. Movement state and positions live in the
+  /// MovementEngine's SoA lanes, not here.
   struct Node {
-    mobility::MovementModelPtr movement;
     std::unique_ptr<Router> router;
     Buffer buffer;
     util::Pcg32 routing_rng;
-    geo::Vec2 pos;
 
-    Node(mobility::MovementModelPtr m, std::unique_ptr<Router> r,
-         std::int64_t buffer_bytes, bool legacy_buffer, util::Pcg32 rng)
-        : movement(std::move(m)), router(std::move(r)),
-          buffer(buffer_bytes, legacy_buffer), routing_rng(rng) {}
+    Node(std::unique_ptr<Router> r, std::int64_t buffer_bytes, bool legacy_buffer,
+         util::Pcg32 rng)
+        : router(std::move(r)), buffer(buffer_bytes, legacy_buffer), routing_rng(rng) {}
   };
 
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
@@ -207,6 +263,15 @@ class World {
   void link_down(NodeIdx a, NodeIdx b);
   void activate(std::uint32_t slot);
   void deactivate(std::uint32_t slot);
+
+  /// Shared add_node tail: wires node `engine_node` (just registered with
+  /// the movement engine) into a recycled or fresh Node slot.
+  NodeIdx add_node_common(int engine_node, std::unique_ptr<Router> router);
+  /// Clears run state (time, metrics, contact layer, traffic gate) while
+  /// retaining capacity; shared by reset() and reseed().
+  void clear_sim_state();
+  /// Trims surplus recycled node slots after a reset()+add_node rebuild.
+  void finalize_rebuild();
 
   void move_nodes();
   void sort_pair_keys(std::vector<std::uint64_t>& keys);
@@ -226,7 +291,10 @@ class World {
   std::int64_t step_count_ = 0;
   double next_sweep_ = 0.0;
   std::vector<Node> nodes_;
+  mobility::MovementEngine engine_;  ///< SoA positions + trajectory state
   geo::SpatialGrid grid_;
+  bool rebuilding_ = false;          ///< between reset() and finalize_rebuild()
+  std::size_t rebuild_cursor_ = 0;   ///< node slots re-registered so far
 
   // ---- contact layer ----
   std::vector<Adjacency> adjacency_;         // per-node sorted neighbor lists
@@ -261,6 +329,9 @@ class World {
       if (count != nullptr && --*count == 0) counts_.erase(id);
     }
 
+    /// Drops every instance, retaining table capacity (cross-run reuse).
+    void clear() noexcept { counts_.clear(); }
+
    private:
     FlatIdTable<std::uint32_t> counts_;
   };
@@ -270,7 +341,9 @@ class World {
   /// queues.
   std::vector<IdBag> inbound_queued_;
   std::vector<MsgId> expired_scratch_;  // reused by sweep_expired
-  std::unique_ptr<TrafficGenerator> traffic_;
+  std::unique_ptr<TrafficGenerator> traffic_;  ///< retained across resets
+  TrafficParams traffic_params_;  ///< last set_traffic args (reseed re-derives)
+  bool has_traffic_ = false;      ///< generator armed for the current run
   MsgId next_msg_id_ = 0;
   Metrics metrics_;
   std::int64_t contact_events_ = 0;

@@ -7,6 +7,7 @@
 // consumer of randomness never perturbs existing streams.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -66,6 +67,14 @@ class Pcg32 {
   /// Uniform double in [0, 1) with full 53-bit mantissa resolution.
   constexpr double next_double() noexcept {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fills out[0..n) with consecutive next_double() draws in one call —
+  /// the batched form the SoA movement kernel uses to pull a whole
+  /// waypoint-event block (pause, target, speed, ...) from a node's stream
+  /// at once. Identical stream consumption to n sequential calls.
+  constexpr void fill_doubles(double* out, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next_double();
   }
 
   /// Uniform double in [lo, hi).

@@ -102,5 +102,38 @@ TEST(Polyline, DegenerateRepeatedPoints) {
   EXPECT_NEAR(p.x, 1.5, 1e-12);
 }
 
+TEST(Polyline, HintedPointAtIsBitIdenticalToPointAt) {
+  const Polyline square = unit_square_closed();
+  // Monotone sweep (the bus cursor pattern), many wraps, with exact
+  // equality required — the hinted walk must land on upper_bound's segment.
+  std::uint32_t hint = 0;
+  for (double s = 0.0; s < 40.0; s += 0.037) {
+    const Vec2 want = square.point_at(s);
+    const Vec2 got = square.point_at_hinted(s, hint);
+    ASSERT_EQ(got.x, want.x) << "s=" << s;
+    ASSERT_EQ(got.y, want.y) << "s=" << s;
+  }
+  // Backward jumps invalidate the hint; the fallback must still agree.
+  for (const double s : {3.9, 0.1, 2.5, 1.0, 3.999, 0.0}) {
+    const Vec2 want = square.point_at(s);
+    const Vec2 got = square.point_at_hinted(s, hint);
+    ASSERT_EQ(got.x, want.x) << "s=" << s;
+    ASSERT_EQ(got.y, want.y) << "s=" << s;
+  }
+}
+
+TEST(Polyline, HintedPointAtHandlesDegenerateShapes) {
+  std::uint32_t hint = 7;  // bogus hint must be tolerated
+  const Polyline empty;
+  EXPECT_EQ(empty.point_at_hinted(1.0, hint), Vec2{});
+  hint = 3;
+  const Polyline single({{2, 3}});
+  EXPECT_EQ(single.point_at_hinted(5.0, hint), (Vec2{2, 3}));
+  hint = 99;  // out-of-range hint on a real line
+  const Polyline line({{0, 0}, {10, 0}});
+  const Vec2 p = line.point_at_hinted(4.0, hint);
+  EXPECT_EQ(p, line.point_at(4.0));
+}
+
 }  // namespace
 }  // namespace dtn::geo

@@ -102,6 +102,66 @@ TEST(SpatialGrid, QueryMatchesBruteForce) {
   EXPECT_EQ(found, expected);
 }
 
+TEST(SpatialGrid, OccupiedIndexTracksCellTransitions) {
+  SpatialGrid grid(10.0);
+  EXPECT_EQ(grid.occupied_cell_count(), 0u);
+  grid.insert(0, {1.0, 1.0});
+  grid.insert(1, {2.0, 2.0});  // same cell
+  grid.insert(2, {25.0, 25.0});
+  EXPECT_EQ(grid.occupied_cell_count(), 2u);
+  // Moving within a cell changes nothing; crossing empties the old cell
+  // (1 -> 0, swap-removed) and occupies the new one (0 -> 1).
+  grid.update(2, {26.0, 26.0});
+  EXPECT_EQ(grid.occupied_cell_count(), 2u);
+  grid.update(2, {55.0, 55.0});
+  EXPECT_EQ(grid.occupied_cell_count(), 2u);  // old emptied, new occupied
+  grid.update(1, {55.0, 56.0});  // joins node 2's cell; old cell keeps node 0
+  EXPECT_EQ(grid.occupied_cell_count(), 2u);
+  ASSERT_TRUE(grid.remove(0));
+  EXPECT_EQ(grid.occupied_cell_count(), 1u);
+  grid.clear();
+  EXPECT_EQ(grid.occupied_cell_count(), 0u);
+  grid.insert(3, {0.0, 0.0});
+  EXPECT_EQ(grid.occupied_cell_count(), 1u);
+  grid.reset();
+  EXPECT_EQ(grid.occupied_cell_count(), 0u);
+}
+
+TEST(SpatialGrid, OccupiedIndexSurvivesCompactionAndChurn) {
+  // Enough cell discovery to trigger compact() (created_since_compact > 64)
+  // while points churn between cells; the occupied-index sweep must keep
+  // producing exactly the brute-force pair set throughout.
+  SpatialGrid grid(10.0);
+  util::Pcg32 rng(2024, 7);
+  constexpr int kPoints = 60;
+  std::vector<Vec2> pos(kPoints);
+  for (int i = 0; i < kPoints; ++i) {
+    pos[i] = {rng.uniform(0.0, 400.0), rng.uniform(0.0, 400.0)};
+    grid.insert(i, pos[i]);
+  }
+  std::vector<std::pair<std::int32_t, std::int32_t>> pairs;
+  for (int round = 0; round < 120; ++round) {
+    grid.advance_epoch();
+    for (int i = 0; i < kPoints; ++i) {
+      // Teleporting walk: constant cell crossings and fresh cell discovery.
+      pos[i] = {rng.uniform(0.0, 400.0), rng.uniform(0.0, 400.0)};
+      grid.update(i, pos[i]);
+    }
+    grid.all_pairs_into(10.0, pairs);
+    std::set<std::pair<std::int32_t, std::int32_t>> got(pairs.begin(), pairs.end());
+    ASSERT_EQ(got.size(), pairs.size()) << "duplicate pair, round " << round;
+    std::set<std::pair<std::int32_t, std::int32_t>> want;
+    for (int a = 0; a < kPoints; ++a) {
+      for (int b = a + 1; b < kPoints; ++b) {
+        if (pos[a].distance_to(pos[b]) <= 10.0) want.emplace(a, b);
+      }
+    }
+    ASSERT_EQ(got, want) << "pair set diverged at round " << round;
+    ASSERT_LE(grid.occupied_cell_count(), static_cast<std::size_t>(kPoints));
+    ASSERT_LE(grid.occupied_cell_count(), grid.cell_count());
+  }
+}
+
 TEST(SpatialGrid, ZeroOrNegativeCellSizeSanitized) {
   SpatialGrid g1(0.0);
   EXPECT_GT(g1.cell_size(), 0.0);

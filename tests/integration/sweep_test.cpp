@@ -95,5 +95,92 @@ TEST(Sweep, ParallelAndSerialAgree) {
   }
 }
 
+/// Requires every aggregate of every point to be EXACTLY equal (same bits,
+/// same sample counts) between two sweeps.
+void expect_identical_results(const std::vector<PointResult>& a,
+                              const std::vector<PointResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].protocol + "/n=" + std::to_string(a[i].node_count));
+    EXPECT_EQ(a[i].protocol, b[i].protocol);
+    EXPECT_EQ(a[i].node_count, b[i].node_count);
+    EXPECT_EQ(a[i].delivery_ratio.count(), b[i].delivery_ratio.count());
+    for (const auto metric : {Metric::kDeliveryRatio, Metric::kLatency,
+                              Metric::kGoodput, Metric::kControlMb, Metric::kRelayed}) {
+      EXPECT_EQ(metric_value(a[i], metric), metric_value(b[i], metric))
+          << metric_name(metric);
+    }
+    EXPECT_EQ(a[i].contacts.mean(), b[i].contacts.mean());
+    EXPECT_EQ(a[i].delivery_ratio.stddev(), b[i].delivery_ratio.stddev());
+  }
+}
+
+TEST(Sweep, AggregatesBitIdenticalAcrossThreadCounts) {
+  // The reused engine folds per-task samples in task order after the loop,
+  // so aggregates cannot depend on worker count or completion order.
+  SweepOptions opt = tiny_sweep();
+  opt.seeds = 3;
+  opt.threads = 1;
+  const auto one = run_sweep(opt);
+  opt.threads = 4;
+  const auto four = run_sweep(opt);
+  opt.threads = 0;  // hardware concurrency
+  const auto hw = run_sweep(opt);
+  expect_identical_results(one, four);
+  expect_identical_results(one, hw);
+}
+
+TEST(Sweep, LegacyEngineProducesBitIdenticalAggregates) {
+  // Fresh-world legacy execution vs reused-world chunked execution: the
+  // world-reuse path must be observably inert. Single-threaded so the
+  // legacy mutex merge runs in task order too (its accumulation order is
+  // completion order, which multi-threaded scheduling would perturb).
+  SweepOptions opt = tiny_sweep();
+  opt.threads = 1;
+  opt.exec = SweepOptions::Exec::kLegacy;
+  const auto legacy = run_sweep(opt);
+  opt.exec = SweepOptions::Exec::kReused;
+  const auto reused = run_sweep(opt);
+  expect_identical_results(legacy, reused);
+}
+
+TEST(Sweep, ProgressFiresPerRunOnLegacyEngineToo) {
+  SweepOptions opt = tiny_sweep();
+  opt.exec = SweepOptions::Exec::kLegacy;
+  std::atomic<int> calls{0};
+  opt.progress = [&calls](const std::string&) { calls.fetch_add(1); };
+  run_sweep(opt);
+  EXPECT_EQ(calls.load(), 2 * 2 * 2);
+}
+
+TEST(Sweep, ScenarioRunnerReuseMatchesFreshWorlds) {
+  // One runner executing a protocol/node-count/seed mix back to back must
+  // reproduce fresh-world runs bit for bit (World::reset contract at the
+  // harness level; the 12-protocol sweep lives in world_reuse_test).
+  SweepOptions opt = tiny_sweep();
+  ScenarioRunner runner;
+  for (const auto& protocol : opt.protocols) {
+    for (const int nodes : opt.node_counts) {
+      for (int s = 0; s < opt.seeds; ++s) {
+        BusScenarioParams params = opt.base;
+        params.protocol.name = protocol;
+        params.node_count = nodes;
+        params.seed = opt.seed_base + static_cast<std::uint64_t>(s);
+        const ScenarioResult fresh = run_bus_scenario(params);
+        const ScenarioResult reused = runner.run(params);
+        SCOPED_TRACE(protocol + "/n=" + std::to_string(nodes) +
+                     "/seed=" + std::to_string(params.seed));
+        EXPECT_EQ(fresh.metrics.created(), reused.metrics.created());
+        EXPECT_EQ(fresh.metrics.delivered(), reused.metrics.delivered());
+        EXPECT_EQ(fresh.metrics.relayed(), reused.metrics.relayed());
+        EXPECT_EQ(fresh.metrics.dropped(), reused.metrics.dropped());
+        EXPECT_EQ(fresh.metrics.control_bytes(), reused.metrics.control_bytes());
+        EXPECT_EQ(fresh.contact_events, reused.contact_events);
+        EXPECT_EQ(fresh.metrics.latency_mean(), reused.metrics.latency_mean());
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dtn::harness

@@ -1,0 +1,213 @@
+// Cross-run World reuse differential: the PR-3 reuse paths must be
+// observably inert for EVERY protocol in the repository.
+//
+//  - reset()+rebuild (ScenarioRunner): one World re-used across a
+//    12-protocol x 2-seed community-scenario grid, each run compared
+//    bit-for-bit against a fresh World, in the style of the PR-2 buffer
+//    differential.
+//  - reseed(): the same node set restarted under a new seed — exercises
+//    Router::reset() of every stateful protocol (PRoPHET tables, MaxProp
+//    likelihoods/acks, EER/CR histories + MI matrices + MEMD caches, EBR
+//    windows, focus timers, delegation levels) plus in-place re-init of
+//    movement lanes, buffers, traffic, and metrics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "routing/factory.hpp"
+#include "sim/world.hpp"
+
+namespace dtn::harness {
+namespace {
+
+CommunityScenarioParams community_base(const std::string& protocol,
+                                       std::uint64_t seed) {
+  CommunityScenarioParams p;
+  p.node_count = 24;
+  p.communities = 3;
+  p.world_size_m = 900.0;
+  p.duration_s = 1500.0;
+  p.seed = seed;
+  p.traffic.ttl = 600.0;
+  p.protocol.name = protocol;
+  p.protocol.copies = 6;
+  return p;
+}
+
+void expect_same_run(const ScenarioResult& a, const ScenarioResult& b,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.metrics.created(), b.metrics.created());
+  EXPECT_EQ(a.metrics.delivered(), b.metrics.delivered());
+  EXPECT_EQ(a.metrics.relayed(), b.metrics.relayed());
+  EXPECT_EQ(a.metrics.transfers_started(), b.metrics.transfers_started());
+  EXPECT_EQ(a.metrics.transfers_aborted(), b.metrics.transfers_aborted());
+  EXPECT_EQ(a.metrics.dropped(), b.metrics.dropped());
+  EXPECT_EQ(a.metrics.expired(), b.metrics.expired());
+  EXPECT_EQ(a.metrics.control_bytes(), b.metrics.control_bytes());
+  EXPECT_EQ(a.contact_events, b.contact_events);
+  EXPECT_EQ(a.metrics.latency_mean(), b.metrics.latency_mean());
+  EXPECT_EQ(a.metrics.goodput(), b.metrics.goodput());
+  EXPECT_EQ(a.metrics.hop_count_mean(), b.metrics.hop_count_mean());
+}
+
+TEST(WorldReuse, RebuiltWorldMatchesFreshAcrossAllProtocolsAndSeeds) {
+  ScenarioRunner runner;  // ONE world for all 12 protocols x 2 seeds
+  for (const std::string& protocol : routing::known_protocols()) {
+    for (const std::uint64_t seed : {11ull, 12ull}) {
+      const CommunityScenarioParams params = community_base(protocol, seed);
+      const ScenarioResult fresh = run_community_scenario(params);
+      const ScenarioResult reused = runner.run(params);
+      expect_same_run(fresh, reused,
+                      protocol + "/seed=" + std::to_string(seed));
+    }
+  }
+}
+
+/// Builds the community scenario directly on `world` (fresh or reused via
+/// reset()); mirrors run_community_scenario so reseed() can be exercised
+/// on a structure that is seed-independent.
+void build_community_world(sim::World& world, const CommunityScenarioParams& params,
+                           bool add_traffic = true) {
+  const int l = params.communities;
+  const double band = params.world_size_m / static_cast<double>(l);
+  std::vector<int> cid(static_cast<std::size_t>(params.node_count));
+  for (int v = 0; v < params.node_count; ++v) cid[static_cast<std::size_t>(v)] = v % l;
+  auto communities = std::make_shared<const core::CommunityTable>(cid);
+  routing::ProtocolConfig protocol = params.protocol;
+  protocol.communities = communities;
+  for (int v = 0; v < params.node_count; ++v) {
+    const int c = cid[static_cast<std::size_t>(v)];
+    mobility::CommunityMovementParams mp;
+    mp.world_min = {0.0, 0.0};
+    mp.world_max = {params.world_size_m, params.world_size_m};
+    mp.home_min = {band * c, 0.0};
+    mp.home_max = {band * (c + 1), params.world_size_m};
+    mp.home_prob = params.home_prob;
+    world.add_node(mp, routing::create_router(protocol));
+  }
+  if (!add_traffic) return;
+  sim::TrafficParams traffic = params.traffic;
+  traffic.stop = params.duration_s - traffic.ttl;
+  world.set_traffic(traffic);
+}
+
+TEST(WorldReuse, ReseedMatchesFreshBuildAcrossAllProtocols) {
+  for (const std::string& protocol : routing::known_protocols()) {
+    SCOPED_TRACE(protocol);
+    const CommunityScenarioParams first = community_base(protocol, 21);
+    const CommunityScenarioParams second = community_base(protocol, 22);
+
+    // Reference: two fresh worlds.
+    const ScenarioResult fresh_a = run_community_scenario(first);
+    const ScenarioResult fresh_b = run_community_scenario(second);
+
+    // Reused: one world, built once, reseeded between the runs — same
+    // router INSTANCES carried across, cleared only by Router::reset().
+    sim::WorldConfig config = first.world;
+    config.seed = first.seed;
+    sim::World world(config);
+    build_community_world(world, first);
+    world.run(first.duration_s);
+    EXPECT_EQ(world.metrics().created(), fresh_a.metrics.created());
+    EXPECT_EQ(world.metrics().delivered(), fresh_a.metrics.delivered());
+    EXPECT_EQ(world.metrics().relayed(), fresh_a.metrics.relayed());
+    EXPECT_EQ(world.contact_events(), fresh_a.contact_events);
+    EXPECT_EQ(world.metrics().latency_mean(), fresh_a.metrics.latency_mean());
+
+    world.reseed(second.seed);
+    world.run(second.duration_s);
+    EXPECT_EQ(world.metrics().created(), fresh_b.metrics.created());
+    EXPECT_EQ(world.metrics().delivered(), fresh_b.metrics.delivered());
+    EXPECT_EQ(world.metrics().relayed(), fresh_b.metrics.relayed());
+    EXPECT_EQ(world.metrics().dropped(), fresh_b.metrics.dropped());
+    EXPECT_EQ(world.metrics().expired(), fresh_b.metrics.expired());
+    EXPECT_EQ(world.metrics().control_bytes(), fresh_b.metrics.control_bytes());
+    EXPECT_EQ(world.contact_events(), fresh_b.contact_events);
+    EXPECT_EQ(world.metrics().latency_mean(), fresh_b.metrics.latency_mean());
+    EXPECT_EQ(world.metrics().goodput(), fresh_b.metrics.goodput());
+  }
+}
+
+TEST(WorldReuse, ReseedToSameSeedReproducesTheRun) {
+  const CommunityScenarioParams params = community_base("EER", 31);
+  sim::WorldConfig config = params.world;
+  config.seed = params.seed;
+  sim::World world(config);
+  build_community_world(world, params);
+  world.run(params.duration_s);
+  const auto created = world.metrics().created();
+  const auto delivered = world.metrics().delivered();
+  const auto relayed = world.metrics().relayed();
+  const auto contacts = world.contact_events();
+  const double latency = world.metrics().latency_mean();
+
+  world.reseed(params.seed);
+  world.run(params.duration_s);
+  EXPECT_EQ(world.metrics().created(), created);
+  EXPECT_EQ(world.metrics().delivered(), delivered);
+  EXPECT_EQ(world.metrics().relayed(), relayed);
+  EXPECT_EQ(world.contact_events(), contacts);
+  EXPECT_EQ(world.metrics().latency_mean(), latency);
+}
+
+TEST(WorldReuse, ReseedDirectlyAfterShrinkingRebuildFinalizesFirst) {
+  // reseed() must self-heal a pending rebuild (like run()/step() do): a
+  // reset()+add_node rebuild to FEWER nodes followed immediately by
+  // reseed() — no run in between — must trim the surplus slots, not index
+  // the cleared movement lanes out of bounds.
+  CommunityScenarioParams big = community_base("Epidemic", 51);
+  big.node_count = 30;
+  CommunityScenarioParams small = big;
+  small.node_count = 12;
+
+  sim::WorldConfig config = big.world;
+  config.seed = big.seed;
+  sim::World world(config);
+  build_community_world(world, big);
+  world.run(big.duration_s);
+
+  sim::WorldConfig small_config = small.world;
+  small_config.seed = small.seed;
+  world.reset(small_config);
+  // No set_traffic yet, so the rebuild (12 of 30 slots) is still pending
+  // when reseed() runs.
+  build_community_world(world, small, /*add_traffic=*/false);
+  world.reseed(52);
+  sim::TrafficParams traffic = small.traffic;
+  traffic.stop = small.duration_s - traffic.ttl;
+  world.set_traffic(traffic);  // derives from config_.seed == 52
+  world.run(small.duration_s);
+
+  CommunityScenarioParams fresh_params = small;
+  fresh_params.seed = 52;
+  const ScenarioResult fresh = run_community_scenario(fresh_params);
+  EXPECT_EQ(world.node_count(), 12);
+  EXPECT_EQ(world.metrics().created(), fresh.metrics.created());
+  EXPECT_EQ(world.metrics().delivered(), fresh.metrics.delivered());
+  EXPECT_EQ(world.metrics().relayed(), fresh.metrics.relayed());
+  EXPECT_EQ(world.contact_events(), fresh.contact_events);
+}
+
+TEST(WorldReuse, RebuildAcrossDifferentNodeCountsAndBufferSizes) {
+  // Shrinking and growing rebuilds (including a buffer-capacity change)
+  // must still match fresh worlds exactly.
+  ScenarioRunner runner;
+  for (const int nodes : {30, 12, 40}) {
+    for (const std::int64_t buffer : {std::int64_t{1} << 20, std::int64_t{128} * 1024}) {
+      CommunityScenarioParams params = community_base("Epidemic", 41);
+      params.node_count = nodes;
+      params.world.buffer_bytes = buffer;
+      const ScenarioResult fresh = run_community_scenario(params);
+      const ScenarioResult reused = runner.run(params);
+      expect_same_run(fresh, reused,
+                      "n=" + std::to_string(nodes) + "/buf=" + std::to_string(buffer));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtn::harness

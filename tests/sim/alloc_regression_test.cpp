@@ -1,5 +1,6 @@
-// Allocation-regression guard for the two PR-won hot paths: the
-// incremental contact layer (PR 1) and the slab message store (PR 2).
+// Allocation-regression guard for the PR-won hot paths: the incremental
+// contact layer (PR 1), the slab message store (PR 2), and the cross-run
+// reuse + chunked-dispatch engine (PR 3).
 // A replaced global operator new counts heap allocations inside tight
 // measurement windows (no gtest machinery runs while counting):
 //   - steady-state Buffer churn (insert/erase/evict/expire at a fixed
@@ -8,9 +9,16 @@
 //     allocations/step (residual: rare spatial-grid cell discovery);
 //   - a warmed-up traffic-bearing epidemic workload with buffer pressure
 //     must stay far below one allocation/step (residual: per-delivery
-//     metrics bookkeeping and rare container growth).
+//     metrics bookkeeping and rare container growth);
+//   - World::reseed() of a warmed world must perform exactly zero
+//     allocations, and a whole reused-world seed (reseed + full re-run)
+//     must stay at ~0 allocations/step;
+//   - a ThreadPool::parallel_for dispatch on the warm shared pool must
+//     perform zero allocations on the coordinating thread (no per-task
+//     std::function, no futures, no queue nodes).
 // If someone reintroduces a per-step vector return, a per-transfer hash
-// node, or a per-insert list node, this test fails.
+// node, a per-insert list node, a per-task heap closure, or a per-seed
+// world rebuild, this test fails.
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -27,6 +35,7 @@
 #include "routing/epidemic.hpp"
 #include "sim/buffer.hpp"
 #include "sim/world.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -147,6 +156,65 @@ TEST(AllocRegression, BufferPressureWorkloadStaysNearZeroAllocs) {
   // transfer — orders of magnitude above this bound.
   EXPECT_LT(static_cast<double>(allocs) / kSteps, 0.5)
       << "traffic-bearing buffer path regressed to allocating";
+}
+
+TEST(AllocRegression, ReusedWorldSeedIsNearAllocationFree) {
+  // A reseeded run must ride entirely on retained capacity: slab buffers,
+  // grid cells, adjacency/connection pools, movement lanes, metrics
+  // buckets, traffic generator — the campaign-sweep steady state.
+  WorldConfig config;
+  config.seed = 23;
+  World world(config);
+  mobility::RandomWaypointParams move;
+  move.world_min = {0.0, 0.0};
+  const double side = std::sqrt(120.0 * 120);
+  move.world_max = {side, side};
+  move.speed_min = 2.0;
+  move.speed_max = 14.0;
+  for (int i = 0; i < 120; ++i) {
+    world.add_node(move, std::make_unique<routing::EpidemicRouter>());
+  }
+  TrafficParams traffic;
+  traffic.interval_min = 2.0;
+  traffic.interval_max = 4.0;
+  world.set_traffic(traffic);
+  // Warm seed: reach the allocation high-water mark (slabs, cells, maps),
+  // then one throwaway reseed cycle — the first reuse may pay one-time
+  // capacity growth (e.g. the connection free-list reaching pool size).
+  for (int i = 0; i < 4000; ++i) world.step();
+  world.reseed(24);
+  for (int i = 0; i < 500; ++i) world.step();
+
+  // A steady-state reseed must be exactly allocation-free.
+  const std::uint64_t reseed_allocs = counted([&] { world.reseed(25); });
+  EXPECT_EQ(reseed_allocs, 0u) << "World::reseed() must recycle, not allocate";
+
+  // A full reused-world seed (the steps after the reseed) stays at ~0
+  // allocs/step. Residual: first-delivery metrics nodes (the map was
+  // cleared) and rare container growth past the previous high-water mark.
+  constexpr int kSteps = 3000;
+  const std::uint64_t run_allocs = counted([&] {
+    for (int i = 0; i < kSteps; ++i) world.step();
+  });
+  EXPECT_LT(static_cast<double>(run_allocs) / kSteps, 0.5)
+      << "reused-world seed regressed to allocating";
+}
+
+TEST(AllocRegression, ParallelForDispatchIsAllocationFree) {
+  // Chunked atomic-counter dispatch: one stack job, no per-task heap
+  // closures/futures. Warm the shared pool first (thread creation), build
+  // the std::function outside the window, then count a whole dispatch.
+  auto& pool = util::ThreadPool::shared();
+  std::atomic<std::uint64_t> sum{0};
+  const std::function<void(std::size_t, std::size_t)> body =
+      [&sum](std::size_t, std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      };
+  pool.parallel_for(1000, 4, body);  // warm-up: workers exist afterwards
+  sum.store(0);
+  const std::uint64_t allocs = counted([&] { pool.parallel_for(1000, 4, body); });
+  EXPECT_EQ(sum.load(), 1000ull * 999ull / 2ull);
+  EXPECT_EQ(allocs, 0u) << "parallel_for dispatch must not heap-allocate";
 }
 
 }  // namespace
