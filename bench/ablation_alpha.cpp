@@ -27,19 +27,19 @@ void register_benchmarks() {
       benchmark::RegisterBenchmark(
           name.c_str(),
           [protocol, alpha, nodes, scale](benchmark::State& state) {
-            dtn::harness::BusScenarioParams base = dtn::bench::paper_scenario(scale);
-            base.protocol.name = protocol;
-            base.protocol.alpha = alpha;
-            base.protocol.copies = 10;
-            base.node_count = nodes;
+            dtn::harness::ScenarioSpec spec = dtn::bench::paper_spec(scale);
+            dtn::harness::apply_override(spec, "protocol.name", protocol);
+            dtn::harness::apply_override(spec, "protocol.alpha", dtn::util::format_value(alpha));
+            dtn::harness::apply_override(spec, "protocol.copies", "10");
+            dtn::harness::apply_override(spec, "scenario.nodes", std::to_string(nodes));
             dtn::harness::PointResult point;
             point.protocol = protocol;
             point.node_count = nodes;
             point.alpha = alpha;
             std::uint64_t seed = 1000;
             for (auto _ : state) {
-              base.seed = seed++;
-              const auto r = dtn::bench::point_runner().run(base);
+              spec.seed = seed++;
+              const auto r = dtn::bench::point_runner().run(spec);
               point.delivery_ratio.add(r.metrics.delivery_ratio());
               point.latency.add(r.metrics.latency_mean());
               point.goodput.add(r.metrics.goodput());

@@ -31,18 +31,19 @@ void register_benchmarks() {
       benchmark::RegisterBenchmark(
           name.c_str(),
           [protocol, mb, nodes, scale](benchmark::State& state) {
-            dtn::harness::BusScenarioParams base = dtn::bench::paper_scenario(scale);
-            base.protocol.name = protocol;
-            base.protocol.copies = 10;
-            base.node_count = nodes;
-            base.world.buffer_bytes = static_cast<std::int64_t>(mb * 1024 * 1024);
-            base.traffic.interval_min = 5.0;  // ~5x the paper's load
-            base.traffic.interval_max = 8.0;
+            dtn::harness::ScenarioSpec spec = dtn::bench::paper_spec(scale);
+            dtn::harness::apply_override(spec, "protocol.name", protocol);
+            dtn::harness::apply_override(spec, "protocol.copies", "10");
+            dtn::harness::apply_override(spec, "scenario.nodes", std::to_string(nodes));
+            dtn::harness::apply_override(spec, "world.buffer_bytes",
+                            std::to_string(static_cast<std::int64_t>(mb * 1024 * 1024)));
+            dtn::harness::apply_override(spec, "traffic.interval_min", "5");  // ~5x the paper's load
+            dtn::harness::apply_override(spec, "traffic.interval_max", "8");
             dtn::harness::PointResult point;
             std::uint64_t seed = 1000;
             for (auto _ : state) {
-              base.seed = seed++;
-              const auto r = dtn::bench::point_runner().run(base);
+              spec.seed = seed++;
+              const auto r = dtn::bench::point_runner().run(spec);
               point.delivery_ratio.add(r.metrics.delivery_ratio());
               point.latency.add(r.metrics.latency_mean());
               point.goodput.add(r.metrics.goodput());

@@ -19,31 +19,31 @@ std::vector<Row> g_rows;
 
 void run_variant(benchmark::State& state, const std::string& variant, int nodes,
                  const BenchScale& scale) {
-  dtn::harness::BusScenarioParams base = dtn::bench::paper_scenario(scale);
-  base.node_count = nodes;
-  base.protocol.copies = 10;
+  dtn::harness::ScenarioSpec spec = dtn::bench::paper_spec(scale);
+  dtn::harness::apply_override(spec, "scenario.nodes", std::to_string(nodes));
+  dtn::harness::apply_override(spec, "protocol.copies", "10");
   dtn::harness::PointResult point;
   double communities_found = 0.0;
   std::uint64_t seed = 1000;
   for (auto _ : state) {
-    base.seed = seed++;
+    spec.seed = seed++;
     if (variant == "CR-groundtruth") {
-      base.protocol.name = "CR";
-      base.communities_override = nullptr;
+      dtn::harness::apply_override(spec, "protocol.name", "CR");
+      spec.communities_override = nullptr;
     } else if (variant == "CR-detected") {
-      base.protocol.name = "CR";
+      dtn::harness::apply_override(spec, "protocol.name", "CR");
       dtn::core::DetectionParams detection;
       detection.familiar_threshold = 4;
-      base.communities_override =
+      spec.communities_override =
           std::make_shared<const dtn::core::CommunityTable>(
-              dtn::harness::detect_bus_communities(base, detection,
+              dtn::harness::detect_bus_communities(spec, detection,
                                                    /*warmup_s=*/1500.0));
-      communities_found += base.communities_override->community_count();
+      communities_found += spec.communities_override->community_count();
     } else {
-      base.protocol.name = "EER";
-      base.communities_override = nullptr;
+      dtn::harness::apply_override(spec, "protocol.name", "EER");
+      spec.communities_override = nullptr;
     }
-    const auto r = dtn::bench::point_runner().run(base);
+    const auto r = dtn::bench::point_runner().run(spec);
     point.delivery_ratio.add(r.metrics.delivery_ratio());
     point.latency.add(r.metrics.latency_mean());
     point.goodput.add(r.metrics.goodput());

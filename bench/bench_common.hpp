@@ -6,6 +6,11 @@
 // seeds, counters = the paper's metrics averaged across seeds), and prints
 // the figure's series as aligned tables after the run.
 //
+// Since the ScenarioSpec redesign a grid point is a base spec plus
+// `key = value` overrides (the same vocabulary as scenario files, dtnsim
+// --set, and sweep axes) — the per-figure binaries contain NO world-
+// building code, only their axis values.
+//
 // Scale knobs (environment):
 //   DTN_BENCH_SEEDS     seeds per point            (default 2)
 //   DTN_BENCH_DURATION  simulated seconds per run  (default 4000)
@@ -24,6 +29,7 @@
 #include <vector>
 
 #include "harness/scenario.hpp"
+#include "harness/spec_io.hpp"
 #include "harness/sweep.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -54,11 +60,11 @@ inline BenchScale bench_scale() {
   return s;
 }
 
-/// Paper-default scenario (Sec. V-A) at the bench scale.
-inline harness::BusScenarioParams paper_scenario(const BenchScale& scale) {
-  harness::BusScenarioParams p;
+/// Paper-default bus scenario (Sec. V-A) at the bench scale, as a spec.
+inline harness::ScenarioSpec paper_spec(const BenchScale& scale) {
+  harness::BusScenarioParams p;  // WorldConfig / TrafficParams defaults are the paper's
   p.duration_s = scale.duration_s;
-  return p;  // WorldConfig / TrafficParams defaults are already the paper's
+  return harness::to_spec(p);
 }
 
 /// Accumulates per-point results so the figure tables can be printed after
@@ -123,22 +129,20 @@ inline harness::ScenarioRunner& point_runner() {
   return runner;
 }
 
-/// Runs one simulation per benchmark iteration (= per seed) of `base`
-/// (protocol/nodes already set) and records the averaged metrics both as
+/// Runs one simulation per benchmark iteration (= per seed) of `spec`
+/// (overrides already applied) and records the averaged metrics both as
 /// benchmark counters and into `collector`.
-inline void run_point_benchmark(benchmark::State& state,
-                                harness::BusScenarioParams base,
-                                FigureCollector* collector,
-                                const std::string& series) {
+inline void run_point_benchmark(benchmark::State& state, harness::ScenarioSpec spec,
+                                FigureCollector* collector, const std::string& series) {
   harness::PointResult point;
-  point.protocol = base.protocol.name;
-  point.node_count = base.node_count;
-  point.copies = base.protocol.copies;
-  point.alpha = base.protocol.alpha;
+  point.protocol = spec.protocol.name;
+  point.node_count = spec.node_count();
+  point.copies = spec.protocol.copies;
+  point.alpha = spec.protocol.alpha;
   std::uint64_t seed = 1000;
   for (auto _ : state) {
-    base.seed = seed++;
-    const harness::ScenarioResult r = point_runner().run(base);
+    spec.seed = seed++;
+    const harness::ScenarioResult r = point_runner().run(spec);
     point.delivery_ratio.add(r.metrics.delivery_ratio());
     point.latency.add(r.metrics.latency_mean());
     point.goodput.add(r.metrics.goodput());

@@ -25,11 +25,11 @@ void register_benchmarks() {
       benchmark::RegisterBenchmark(
           name.c_str(),
           [protocol, nodes, scale](benchmark::State& state) {
-            dtn::harness::BusScenarioParams base = dtn::bench::paper_scenario(scale);
-            base.protocol.name = protocol;
-            base.protocol.copies = 10;  // λ = 10 (paper Sec. V-B)
-            base.node_count = nodes;
-            dtn::bench::run_point_benchmark(state, base, &g_collector,
+            dtn::harness::ScenarioSpec spec = dtn::bench::paper_spec(scale);
+            dtn::harness::apply_override(spec, "protocol.name", protocol);
+            dtn::harness::apply_override(spec, "protocol.copies", "10");  // λ = 10 (paper Sec. V-B)
+            dtn::harness::apply_override(spec, "scenario.nodes", std::to_string(nodes));
+            dtn::bench::run_point_benchmark(state, spec, &g_collector,
                                             protocol);
           })
           ->Iterations(scale.seeds)

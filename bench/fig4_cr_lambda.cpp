@@ -19,11 +19,11 @@ void register_benchmarks() {
       benchmark::RegisterBenchmark(
           name.c_str(),
           [lambda, nodes, scale](benchmark::State& state) {
-            dtn::harness::BusScenarioParams base = dtn::bench::paper_scenario(scale);
-            base.protocol.name = "CR";
-            base.protocol.copies = lambda;
-            base.node_count = nodes;
-            dtn::bench::run_point_benchmark(state, base, &g_collector,
+            dtn::harness::ScenarioSpec spec = dtn::bench::paper_spec(scale);
+            dtn::harness::apply_override(spec, "protocol.name", "CR");
+            dtn::harness::apply_override(spec, "protocol.copies", std::to_string(lambda));
+            dtn::harness::apply_override(spec, "scenario.nodes", std::to_string(nodes));
+            dtn::bench::run_point_benchmark(state, spec, &g_collector,
                                             "lambda=" + std::to_string(lambda));
           })
           ->Iterations(scale.seeds)

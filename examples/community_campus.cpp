@@ -1,50 +1,40 @@
-// Community scenario: the paper's Sec. IV motivating example ("students in
-// a school are divided into classes") as a runnable experiment. Nodes are
-// community-confined random-waypoint walkers (no bus map); the example
-// compares CR against EER and Spray-and-Wait and shows the community
-// contact asymmetry CR exploits.
+// Community scenario (paper Sec. IV motivating example), driven by the
+// shipped scenario file (community_campus.cfg): compares CR against EER
+// and Spray-and-Wait on community-structured mobility.
 //
 //   ./community_campus
-//   ./community_campus --communities 6 --home-prob 0.95 --nodes 60
+//   ./community_campus --set communities.count=6 --set group.walkers.home_prob=0.95
+//   ./community_campus --set scenario.nodes=60 --protocols CR,EER
 #include <cstdio>
 
-#include "harness/scenario.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "example_common.hpp"
+#include "harness/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace dtn;
   const util::Flags flags = util::Flags::parse(argc, argv);
-
-  harness::CommunityScenarioParams base;
-  base.node_count = static_cast<int>(flags.get_int("nodes", 48));
-  base.communities = static_cast<int>(flags.get_int("communities", 4));
-  base.home_prob = flags.get_double("home-prob", 0.88);
-  base.duration_s = flags.get_double("duration", 4000.0);
-  base.world_size_m = flags.get_double("world", 1600.0);
-  base.world.radio_range = 25.0;  // pedestrian radios, denser contacts
-  base.protocol.copies = static_cast<int>(flags.get_int("lambda", 8));
-  base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-
-  std::printf("Campus: %d nodes in %d communities, home-prob %.2f, %.0f s\n\n",
-              base.node_count, base.communities, base.home_prob, base.duration_s);
-
-  util::TablePrinter table({"protocol", "delivery_ratio", "latency_s", "goodput",
-                            "relayed", "control_MB"});
-  for (const std::string protocol : {"CR", "EER", "SprayAndWait", "Epidemic"}) {
-    harness::CommunityScenarioParams p = base;
-    p.protocol.name = protocol;
-    const harness::ScenarioResult r = harness::run_community_scenario(p);
-    table.new_row()
-        .add_cell(protocol)
-        .add_cell(r.metrics.delivery_ratio(), 4)
-        .add_cell(r.metrics.latency_mean(), 1)
-        .add_cell(r.metrics.goodput(), 4)
-        .add_cell(static_cast<double>(r.metrics.relayed()), 0)
-        .add_cell(static_cast<double>(r.metrics.control_bytes()) / 1e6, 2);
-    std::fprintf(stderr, "  done: %s\n", protocol.c_str());
+  if (!examples::require_known_flags(flags, {"set", "protocols", "seeds", "seed-base"}) ||
+      !examples::require_int_flags(flags, {"seeds"}, 1) ||
+      !examples::require_int_flags(flags, {"seed-base"}, 0)) {
+    return 2;
   }
-  std::printf("%s", table.to_string().c_str());
+
+  harness::SpecSweepOptions opt;
+  opt.base = examples::load_example_spec(flags, "community_campus.cfg");
+  opt.axes.push_back(
+      {"protocol.name",
+       util::split_csv(flags.get_string("protocols", "CR,EER,SprayAndWait,Epidemic"))});
+  opt.seeds = static_cast<int>(flags.get_int("seeds", 1));
+  opt.seed_base = static_cast<std::uint64_t>(
+      flags.get_int("seed-base", static_cast<std::int64_t>(opt.base.seed)));
+  opt.progress = [](const std::string& label) {
+    std::fprintf(stderr, "  done: %s\n", label.c_str());
+  };
+
+  std::printf("Campus: %d nodes in %d communities, %.0f s\n\n", opt.base.node_count(),
+              opt.base.communities.count, opt.base.duration_s);
+  const auto results = harness::run_spec_sweep(opt);
+  std::printf("%s", harness::sweep_table(results).to_string().c_str());
   std::printf(
       "\nCR routes inter-community first (toward the destination's community),\n"
       "then intra-community with community-scoped MI/MD state — compare its\n"

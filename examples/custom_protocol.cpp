@@ -1,5 +1,9 @@
 // Extending the library: writing a custom routing protocol against the
-// public Router API, and racing it against the built-ins.
+// public Router API, REGISTERING it by name, and racing it against the
+// built-ins through the same declarative scenario path everything else
+// uses (routing::register_protocol + harness::run_spec_sweep). Once
+// registered, the name also works in scenario files and
+// `dtnsim --set protocol.name=...` — no harness changes.
 //
 // The example implements "FreshnessRouter", a deliberately simple strategy:
 // replicate a message to an encounter only if that encounter has met the
@@ -10,13 +14,12 @@
 //   2. the forwarding decision via send_copy(...),
 //   3. optional custom buffer-eviction policy.
 #include <cstdio>
-#include <functional>
 #include <limits>
 #include <memory>
 #include <vector>
 
 #include "harness/scenario.hpp"
-#include "mobility/bus_movement.hpp"
+#include "harness/sweep.hpp"
 #include "sim/world.hpp"
 #include "util/table.hpp"
 
@@ -78,61 +81,35 @@ class FreshnessRouter final : public sim::Router {
   std::vector<double> last_met_;
 };
 
-/// Runs the bus scenario with a caller-supplied router factory — the same
-/// worldbuilding run_bus_scenario does, shown here in the open so custom
-/// protocols (which the string factory doesn't know) plug in.
-sim::Metrics run_with(const std::function<std::unique_ptr<sim::Router>()>& make_router,
-                      int nodes, double duration, std::uint64_t seed) {
-  geo::DowntownParams map;
-  map.seed = seed;
-  const geo::BusNetwork net = geo::generate_downtown(map);
-  std::vector<std::shared_ptr<const geo::Polyline>> routes;
-  for (const auto& r : net.routes) {
-    routes.push_back(std::make_shared<const geo::Polyline>(r.line));
-  }
-  sim::WorldConfig config;
-  config.seed = seed;
-  sim::World world(config);
-  for (int v = 0; v < nodes; ++v) {
-    world.add_node(std::make_unique<mobility::BusMovement>(
-                       routes[static_cast<std::size_t>(v) % routes.size()],
-                       mobility::BusParams{}),
-                   make_router());
-  }
-  sim::TrafficParams traffic;
-  traffic.stop = duration - traffic.ttl;
-  world.set_traffic(traffic);
-  world.run(duration);
-  return world.metrics();
-}
-
 }  // namespace
 
 int main() {
+  // One registry call makes the custom router a first-class protocol name.
+  routing::register_protocol("Freshness", [](const routing::ProtocolConfig&) {
+    return std::make_unique<FreshnessRouter>();
+  });
+
   const int nodes = 60;
   const double duration = 3000.0;
+  harness::BusScenarioParams base;
+  base.node_count = nodes;
+  base.duration_s = duration;
+
+  harness::SpecSweepOptions opt;
+  opt.base = harness::to_spec(base);
+  opt.axes.push_back({"protocol.name", {"Freshness", "EER", "SprayAndWait", "Epidemic"}});
+  opt.seeds = 1;
+  opt.seed_base = 9;
+  const auto results = harness::run_spec_sweep(opt);
+
   util::TablePrinter table({"router", "delivery_ratio", "latency_s", "goodput"});
-
-  const sim::Metrics custom = run_with(
-      [] { return std::make_unique<FreshnessRouter>(); }, nodes, duration, 9);
-  table.new_row()
-      .add_cell(std::string("Freshness (custom)"))
-      .add_cell(custom.delivery_ratio(), 4)
-      .add_cell(custom.latency_mean(), 1)
-      .add_cell(custom.goodput(), 4);
-
-  for (const std::string name : {"EER", "SprayAndWait", "Epidemic"}) {
-    harness::BusScenarioParams p;
-    p.node_count = nodes;
-    p.duration_s = duration;
-    p.seed = 9;
-    p.protocol.name = name;
-    const auto r = harness::run_bus_scenario(p);
+  for (const auto& point : results) {
+    const std::string& name = point.result.protocol;
     table.new_row()
-        .add_cell(name)
-        .add_cell(r.metrics.delivery_ratio(), 4)
-        .add_cell(r.metrics.latency_mean(), 1)
-        .add_cell(r.metrics.goodput(), 4);
+        .add_cell(name == "Freshness" ? name + " (custom)" : name)
+        .add_cell(point.result.delivery_ratio.mean(), 4)
+        .add_cell(point.result.latency.mean(), 1)
+        .add_cell(point.result.goodput.mean(), 4);
   }
   std::printf("Custom protocol vs built-ins (%d buses, %.0f s):\n\n%s", nodes,
               duration, table.to_string().c_str());

@@ -1,0 +1,73 @@
+// Shared glue for the example binaries: locate the shipped .cfg next to
+// the sources (overridable with a positional path) and apply `--set
+// key=value` command-line overrides — the same override vocabulary as
+// `dtnsim run --set` and sweep axes.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+
+#include "harness/spec_io.hpp"
+#include "util/flags.hpp"
+#include "util/value_parse.hpp"
+
+#ifndef DTN_EXAMPLES_DIR
+#define DTN_EXAMPLES_DIR "examples"
+#endif
+
+namespace dtn::examples {
+
+/// Path of the example's scenario file: first positional argument if
+/// given, else the shipped config.
+inline std::string cfg_path(const util::Flags& flags, const char* name) {
+  if (!flags.positional().empty()) return flags.positional()[0];
+  return std::string(DTN_EXAMPLES_DIR) + "/" + name;
+}
+
+/// load_spec + `--set key=value` overrides in command-line order.
+inline harness::ScenarioSpec load_example_spec(const util::Flags& flags,
+                                               const char* name) {
+  return harness::load_spec_with_overrides(cfg_path(flags, name),
+                                           flags.get_list("set"));
+}
+
+/// Strict flag policy (same as dtnsim): the pre-spec examples took
+/// --nodes/--duration/... style flags, so silently ignoring them would run
+/// the wrong experiment for old invocations. Prints the offenders and how
+/// to express them now; returns false if any flag is unknown.
+inline bool require_known_flags(const util::Flags& flags,
+                                std::initializer_list<const char*> allowed) {
+  const auto offenders = flags.unknown_flags(allowed);
+  for (const auto& flag : offenders) {
+    std::fprintf(stderr,
+                 "unknown flag '--%s' — scenario parameters are overridden with "
+                 "--set key=value (e.g. --set scenario.nodes=120)\n",
+                 flag.c_str());
+  }
+  return offenders.empty();
+}
+
+/// Strict companion for the numeric flags an example reads via get_int:
+/// any of `names` that is present must parse as a whole integer no
+/// smaller than `min_value` — a typo like `--seeds abc` (or `--seeds 0`,
+/// which would print a plausible-looking all-zero table) must not
+/// silently run the wrong experiment.
+inline bool require_int_flags(const util::Flags& flags,
+                              std::initializer_list<const char*> names,
+                              std::int64_t min_value) {
+  bool ok = true;
+  for (const char* name : names) {
+    if (!flags.has(name)) continue;
+    std::int64_t value = min_value;
+    if (!flags.parse_int(name, value) || value < min_value) {
+      std::fprintf(stderr, "bad value '%s' for --%s (integer >= %lld expected)\n",
+                   flags.get_string(name, "").c_str(), name,
+                   static_cast<long long>(min_value));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace dtn::examples

@@ -1,63 +1,43 @@
-// The paper's evaluation scenario as a runnable application: a synthetic
-// downtown bus network (the stand-in for the ONE simulator's Helsinki map,
-// see DESIGN.md) with every protocol of Figure 2 on the command line.
+// The paper's evaluation scenario as a runnable application, driven by the
+// shipped scenario file (helsinki_buses.cfg) — the main() only chooses the
+// protocol lineup and forwards overrides.
 //
-//   ./helsinki_buses                         # compare the full lineup
-//   ./helsinki_buses --nodes 120 --seeds 3
-//   ./helsinki_buses --protocols EER,CR --duration 10000
+//   ./helsinki_buses                                    # compare the full lineup
+//   ./helsinki_buses --set scenario.nodes=120 --seeds 3
+//   ./helsinki_buses --protocols EER,CR --set scenario.duration=10000
+//   ./helsinki_buses my_variant.cfg                     # any scenario file
 #include <cstdio>
-#include <sstream>
 
+#include "example_common.hpp"
 #include "harness/sweep.hpp"
-#include "util/flags.hpp"
-
-namespace {
-
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::istringstream in(csv);
-  std::string token;
-  while (std::getline(in, token, ',')) {
-    if (!token.empty()) out.push_back(token);
-  }
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dtn;
   const util::Flags flags = util::Flags::parse(argc, argv);
+  if (!examples::require_known_flags(flags, {"set", "protocols", "seeds", "seed-base"}) ||
+      !examples::require_int_flags(flags, {"seeds"}, 1) ||
+      !examples::require_int_flags(flags, {"seed-base"}, 0)) {
+    return 2;
+  }
 
-  harness::SweepOptions opt;
-  opt.protocols = split_csv(flags.get_string(
-      "protocols", "EER,CR,EBR,MaxProp,SprayAndWait,SprayAndFocus"));
-  opt.node_counts = {static_cast<int>(flags.get_int("nodes", 80))};
+  harness::SpecSweepOptions opt;
+  opt.base = examples::load_example_spec(flags, "helsinki_buses.cfg");
+  opt.axes.push_back({"protocol.name",
+                      util::split_csv(flags.get_string(
+                          "protocols", "EER,CR,EBR,MaxProp,SprayAndWait,SprayAndFocus"))});
   opt.seeds = static_cast<int>(flags.get_int("seeds", 2));
-  opt.base.duration_s = flags.get_double("duration", 4000.0);
-  opt.base.protocol.copies = static_cast<int>(flags.get_int("lambda", 10));
-  opt.base.protocol.alpha = flags.get_double("alpha", 0.28);
+  opt.seed_base = static_cast<std::uint64_t>(
+      flags.get_int("seed-base", static_cast<std::int64_t>(opt.base.seed)));
   opt.progress = [](const std::string& label) {
     std::fprintf(stderr, "  done: %s\n", label.c_str());
   };
 
   std::printf("Bus-map scenario: %d nodes, %.0f s, lambda=%d, alpha=%.2f, %d seed(s)\n",
-              opt.node_counts[0], opt.base.duration_s, opt.base.protocol.copies,
+              opt.base.node_count(), opt.base.duration_s, opt.base.protocol.copies,
               opt.base.protocol.alpha, opt.seeds);
-  const auto results = harness::run_sweep(opt);
+  const auto results = harness::run_spec_sweep(opt);
 
-  util::TablePrinter table({"protocol", "delivery_ratio", "latency_s", "goodput",
-                            "relayed", "control_MB"});
-  for (const auto& p : results) {
-    table.new_row()
-        .add_cell(p.protocol)
-        .add_cell(p.delivery_ratio.mean(), 4)
-        .add_cell(p.latency.mean(), 1)
-        .add_cell(p.goodput.mean(), 4)
-        .add_cell(p.relayed.mean(), 0)
-        .add_cell(p.control_mb.mean(), 2);
-  }
-  std::printf("\n%s", table.to_string().c_str());
+  std::printf("\n%s", harness::sweep_table(results).to_string().c_str());
   std::printf(
       "\nExpected shape (paper Fig. 2): MaxProp leads delivery ratio with the worst\n"
       "goodput; EBR leads goodput with the lowest delivery ratio; EER and CR sit\n"

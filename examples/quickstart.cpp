@@ -1,64 +1,35 @@
-// Quickstart: the smallest complete use of the library.
-//
-// Builds a 30-node random-waypoint world, routes messages with EER, and
-// prints the three metrics the paper evaluates. Try:
+// Quickstart: the smallest complete use of the library — load a scenario
+// file, run it, read the three metrics the paper evaluates. The whole
+// experiment definition lives in quickstart.cfg; every parameter is
+// overridable from the command line with the same keys.
 //
 //   ./quickstart
-//   ./quickstart --protocol CR --nodes 50 --duration 3000 --lambda 8
+//   ./quickstart --set protocol.name=CR --set scenario.nodes=50 \
+//                --set scenario.duration=3000 --set protocol.copies=8
 #include <cstdio>
-#include <memory>
 
-#include "core/community.hpp"
-#include "mobility/random_waypoint.hpp"
-#include "routing/factory.hpp"
-#include "sim/world.hpp"
-#include "util/flags.hpp"
+#include "example_common.hpp"
+#include "harness/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace dtn;
   const util::Flags flags = util::Flags::parse(argc, argv);
-  const int nodes = static_cast<int>(flags.get_int("nodes", 30));
-  const double duration = flags.get_double("duration", 2000.0);
-  const std::string protocol = flags.get_string("protocol", "EER");
-  const int lambda = static_cast<int>(flags.get_int("lambda", 8));
-  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  if (!examples::require_known_flags(flags, {"set"})) return 2;
 
-  // 1. A world: 0.1 s steps, 10 m radio range, 2 Mbps links, 1 MB buffers.
-  sim::WorldConfig config;
-  config.seed = seed;
-  config.radio_range = 30.0;  // generous range so a small world stays busy
-  sim::World world(config);
+  // 1. A declarative scenario: map, groups, radio, traffic, protocol.
+  const harness::ScenarioSpec spec =
+      examples::load_example_spec(flags, "quickstart.cfg");
 
-  // 2. A protocol. CR needs a community table; give every protocol one so
-  //    --protocol CR works out of the box (4 round-robin communities).
-  std::vector<int> cid(static_cast<std::size_t>(nodes));
-  for (int v = 0; v < nodes; ++v) cid[static_cast<std::size_t>(v)] = v % 4;
-  routing::ProtocolConfig proto;
-  proto.name = protocol;
-  proto.copies = lambda;
-  proto.communities = std::make_shared<const core::CommunityTable>(cid);
+  // 2. Run it. (Campaigns reuse a harness::ScenarioRunner across runs.)
+  const harness::ScenarioResult r = harness::run_scenario(spec);
 
-  // 3. Nodes: random-waypoint walkers in a 500 m square.
-  mobility::RandomWaypointParams walk;
-  walk.world_max = {500.0, 500.0};
-  walk.speed_min = 0.8;
-  walk.speed_max = 2.0;
-  for (int v = 0; v < nodes; ++v) {
-    world.add_node(std::make_unique<mobility::RandomWaypoint>(walk),
-                   routing::create_router(proto));
-  }
-
-  // 4. Traffic: one 25 KB message every 25-35 s, TTL 20 min.
-  sim::TrafficParams traffic;
-  traffic.stop = duration - traffic.ttl;
-  world.set_traffic(traffic);
-
-  // 5. Run and report.
-  world.run(duration);
-  const sim::Metrics& m = world.metrics();
-  std::printf("protocol       : %s (lambda=%d)\n", protocol.c_str(), lambda);
-  std::printf("nodes          : %d, duration %.0f s, %lld contacts\n", nodes,
-              duration, static_cast<long long>(world.contact_events()));
+  // 3. Report.
+  const sim::Metrics& m = r.metrics;
+  std::printf("protocol       : %s (lambda=%d)\n", spec.protocol.name.c_str(),
+              spec.protocol.copies);
+  std::printf("nodes          : %d, duration %.0f s, %lld contacts\n",
+              spec.node_count(), spec.duration_s,
+              static_cast<long long>(r.contact_events));
   std::printf("messages       : %lld created, %lld delivered\n",
               static_cast<long long>(m.created()), static_cast<long long>(m.delivered()));
   std::printf("delivery ratio : %.3f\n", m.delivery_ratio());

@@ -5,19 +5,25 @@
 //   ./trace_tools replay buses.trace          # re-simulate from the trace file
 //   ./trace_tools info buses.trace            # summarize a trace
 //
-// `record` writes `time node x y` lines (1 Hz samples); `replay` attaches a
-// TracePlayback model per node and routes with EER — the exact code path an
-// external dataset would use after conversion to this format.
+// `record` writes `time node x y` lines (1 Hz samples); `replay` builds a
+// ScenarioSpec with a trace map source (map.kind = trace) and one `trace`
+// group — the exact composition a scenario FILE would use for an external
+// dataset after conversion to this format:
+//
+//   map.kind = trace
+//   map.file = buses.trace
+//   group.replay.model = trace
+//   group.replay.count = <trace nodes>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 
+#include "example_common.hpp"
 #include "geo/map_gen.hpp"
+#include "geo/map_registry.hpp"
 #include "geo/trace.hpp"
+#include "harness/scenario.hpp"
 #include "mobility/bus_movement.hpp"
-#include "mobility/trace_playback.hpp"
-#include "routing/factory.hpp"
-#include "sim/world.hpp"
 #include "util/flags.hpp"
 
 namespace {
@@ -57,35 +63,32 @@ int cmd_record(const std::string& path, int nodes, double duration,
 }
 
 int cmd_replay(const std::string& path, const std::string& protocol) {
-  const geo::Trace trace = geo::read_trace(path);
-  auto models = mobility::TracePlayback::from_trace(trace);
-  if (models.empty()) {
-    std::fprintf(stderr, "error: empty trace\n");
-    return 1;
-  }
-  const int nodes = static_cast<int>(models.size());
-  std::vector<int> cid(models.size());
-  for (int v = 0; v < nodes; ++v) cid[static_cast<std::size_t>(v)] = v % 4;
-  routing::ProtocolConfig proto;
-  proto.name = protocol;
-  proto.communities = std::make_shared<const core::CommunityTable>(cid);
+  // Peek at the trace for its node count / duration via the trace map
+  // source itself — the registry caches per path, so the scenario run
+  // below reuses the load instead of touching the disk again.
+  geo::MapParams map_params;
+  map_params.trace_file = path;
+  const geo::BuiltMap peek = geo::find_map_kind("trace")->build(map_params, 0);
+  const geo::Trace& trace = *peek.trace;
+  harness::ScenarioSpec spec;
+  spec.name = "trace_replay";
+  spec.duration_s = trace.duration();
+  spec.map.kind = "trace";
+  spec.map.params.trace_file = path;
+  harness::GroupSpec group;
+  group.name = "replay";
+  group.model = "trace";
+  group.count = trace.node_count();
+  spec.groups.push_back(group);
+  spec.protocol.name = protocol;
+  spec.communities.count = 4;  // round-robin classes so CR works out of the box
 
-  sim::WorldConfig config;
-  sim::World world(config);
-  for (auto& m : models) {
-    world.add_node(std::move(m), routing::create_router(proto));
-  }
-  const double duration = trace.duration();
-  sim::TrafficParams traffic;
-  traffic.stop = duration - traffic.ttl;
-  world.set_traffic(traffic);
-  world.run(duration);
-  const sim::Metrics& m = world.metrics();
-  std::printf("replayed %s: %d nodes, %.0f s, protocol %s\n", path.c_str(), nodes,
-              duration, protocol.c_str());
+  const harness::ScenarioResult r = harness::run_scenario(spec);
+  std::printf("replayed %s: %d nodes, %.0f s, protocol %s\n", path.c_str(),
+              spec.node_count(), spec.duration_s, protocol.c_str());
   std::printf("delivery ratio %.3f | latency %.1f s | goodput %.4f | %lld contacts\n",
-              m.delivery_ratio(), m.latency_mean(), m.goodput(),
-              static_cast<long long>(world.contact_events()));
+              r.metrics.delivery_ratio(), r.metrics.latency_mean(), r.metrics.goodput(),
+              static_cast<long long>(r.contact_events));
   return 0;
 }
 
@@ -100,6 +103,12 @@ int cmd_info(const std::string& path) {
 
 int main(int argc, char** argv) {
   const util::Flags flags = util::Flags::parse(argc, argv);
+  if (!dtn::examples::require_known_flags(flags,
+                                          {"nodes", "duration", "protocol", "seed"}) ||
+      !dtn::examples::require_int_flags(flags, {"nodes"}, 1) ||
+      !dtn::examples::require_int_flags(flags, {"seed"}, 0)) {
+    return 2;
+  }
   const auto& args = flags.positional();
   if (args.size() < 2) {
     std::fprintf(stderr,

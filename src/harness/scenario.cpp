@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 namespace dtn::harness {
@@ -54,61 +55,125 @@ sim::World& ScenarioRunner::prepare(const sim::WorldConfig& config) {
   return *world_;
 }
 
-ScenarioResult ScenarioRunner::run(const BusScenarioParams& params) {
+ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   const auto start = Clock::now();
+  validate_spec(spec);
 
-  geo::DowntownParams map_params = params.map;
-  map_params.seed = params.seed;  // map varies with the scenario seed
-  const geo::BusNetwork net = geo::generate_downtown(map_params);
+  // Map source (seed-dependent for generated maps, so rebuilt per run).
+  const geo::MapKindInfo* kind = geo::find_map_kind(spec.map.kind);
+  const geo::BuiltMap map = kind->build(spec.map.params, spec.seed);
 
-  // Routes as shared polylines (seed-dependent, so rebuilt per run).
-  std::vector<std::shared_ptr<const geo::Polyline>> routes;
-  routes.reserve(net.routes.size());
-  for (const auto& r : net.routes) {
-    routes.push_back(std::make_shared<const geo::Polyline>(r.line));
-  }
-
-  std::shared_ptr<const core::CommunityTable> communities =
-      params.communities_override;
+  // Community table: override > per-group model assignment ("auto") or
+  // uniform round-robin.
+  std::shared_ptr<const core::CommunityTable> communities = spec.communities_override;
   if (!communities) {
-    communities = std::make_shared<const core::CommunityTable>(
-        bus_scenario_communities(net, params.node_count));
+    std::vector<int> cid;
+    cid.reserve(static_cast<std::size_t>(spec.node_count()));
+    int first_node = 0;
+    for (const auto& group : spec.groups) {
+      const GroupBuildContext ctx{spec, map, first_node};
+      if (spec.communities.source == "round_robin") {
+        round_robin_communities(ctx, group, cid);
+      } else {
+        find_group_builder(group.model)->assign_communities(ctx, group, cid);
+      }
+      first_node += group.count;
+    }
+    communities = std::make_shared<const core::CommunityTable>(std::move(cid));
   }
 
-  sim::WorldConfig world_config = params.world;
-  world_config.seed = params.seed;
+  sim::WorldConfig world_config = spec.world;
+  world_config.seed = spec.seed;
   sim::World& world = prepare(world_config);
 
-  routing::ProtocolConfig protocol = params.protocol;
+  routing::ProtocolConfig protocol = spec.protocol;
   protocol.communities = communities;
 
-  for (int v = 0; v < params.node_count; ++v) {
-    const std::size_t route_idx = static_cast<std::size_t>(v) % routes.size();
-    // Spec-form add_node: the bus lane takes the route + params directly,
-    // no per-node heap movement object.
-    world.add_node(routes[route_idx], params.bus, routing::create_router(protocol));
+  int first_node = 0;
+  for (const auto& group : spec.groups) {
+    const GroupBuildContext ctx{spec, map, first_node};
+    find_group_builder(group.model)->add_nodes(world, ctx, group, protocol);
+    first_node += group.count;
   }
 
-  sim::TrafficParams traffic = params.traffic;
-  if (params.full_ttl_window) {
-    traffic.stop = params.duration_s - traffic.ttl;
+  sim::TrafficParams traffic = spec.traffic;
+  if (spec.full_ttl_window) {
+    traffic.stop = spec.duration_s - traffic.ttl;
   }
   world.set_traffic(traffic);
-  world.run(params.duration_s);
+  world.run(spec.duration_s);
 
   ScenarioResult result;
   result.metrics = world.metrics();
   result.contact_events = world.contact_events();
   result.wall_seconds = elapsed_seconds(start);
-  result.protocol = params.protocol.name;
-  result.node_count = params.node_count;
-  result.seed = params.seed;
+  result.protocol = spec.protocol.name;
+  result.node_count = spec.node_count();
+  result.seed = spec.seed;
   return result;
+}
+
+ScenarioSpec to_spec(const BusScenarioParams& params) {
+  ScenarioSpec spec;
+  spec.name = "bus";
+  spec.duration_s = params.duration_s;
+  spec.seed = params.seed;
+  spec.full_ttl_window = params.full_ttl_window;
+  spec.map.kind = "downtown";
+  spec.map.params.downtown = params.map;
+  GroupSpec group;
+  group.name = "buses";
+  group.model = "bus";
+  group.count = params.node_count;
+  group.params.bus = params.bus;
+  spec.groups.push_back(std::move(group));
+  spec.world = params.world;
+  spec.traffic = params.traffic;
+  spec.protocol = params.protocol;
+  spec.communities.source = "auto";
+  spec.communities_override = params.communities_override;
+  return spec;
+}
+
+ScenarioSpec to_spec(const CommunityScenarioParams& params) {
+  ScenarioSpec spec;
+  spec.name = "community";
+  spec.duration_s = params.duration_s;
+  spec.seed = params.seed;
+  spec.full_ttl_window = params.full_ttl_window;
+  spec.map.kind = "open_field";
+  spec.map.params.width = params.world_size_m;
+  spec.map.params.height = params.world_size_m;
+  GroupSpec group;
+  group.name = "walkers";
+  group.model = "community";
+  group.count = params.node_count;
+  group.params.community.home_prob = params.home_prob;
+  spec.groups.push_back(std::move(group));
+  spec.world = params.world;
+  spec.traffic = params.traffic;
+  spec.protocol = params.protocol;
+  spec.communities.source = "auto";
+  spec.communities.count = params.communities;
+  return spec;
+}
+
+ScenarioResult ScenarioRunner::run(const BusScenarioParams& params) {
+  return run(to_spec(params));
+}
+
+ScenarioResult ScenarioRunner::run(const CommunityScenarioParams& params) {
+  return run(to_spec(params));
 }
 
 ScenarioResult run_bus_scenario(const BusScenarioParams& params) {
   ScenarioRunner runner;
   return runner.run(params);
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioRunner runner;
+  return runner.run(spec);
 }
 
 core::CommunityTable detect_bus_communities(const BusScenarioParams& params,
@@ -135,52 +200,22 @@ core::CommunityTable detect_bus_communities(const BusScenarioParams& params,
   return core::detect_communities(graph, detection);
 }
 
-ScenarioResult ScenarioRunner::run(const CommunityScenarioParams& params) {
-  const auto start = Clock::now();
-
-  // Districts tiled left-to-right; community c owns one vertical band.
-  const int l = params.communities > 0 ? params.communities : 1;
-  const double band = params.world_size_m / static_cast<double>(l);
-
-  std::vector<int> cid(static_cast<std::size_t>(params.node_count));
-  for (int v = 0; v < params.node_count; ++v) {
-    cid[static_cast<std::size_t>(v)] = v % l;
+core::CommunityTable detect_bus_communities(const ScenarioSpec& spec,
+                                            const core::DetectionParams& detection,
+                                            double warmup_s) {
+  if (spec.map.kind != "downtown" || spec.groups.size() != 1 ||
+      spec.groups[0].model != "bus") {
+    throw std::invalid_argument(
+        "detect_bus_communities needs a downtown map and a single bus group");
   }
-  auto communities = std::make_shared<const core::CommunityTable>(cid);
-
-  sim::WorldConfig world_config = params.world;
-  world_config.seed = params.seed;
-  sim::World& world = prepare(world_config);
-
-  routing::ProtocolConfig protocol = params.protocol;
-  protocol.communities = communities;
-
-  for (int v = 0; v < params.node_count; ++v) {
-    const int c = cid[static_cast<std::size_t>(v)];
-    mobility::CommunityMovementParams mp;
-    mp.world_min = {0.0, 0.0};
-    mp.world_max = {params.world_size_m, params.world_size_m};
-    mp.home_min = {band * c, 0.0};
-    mp.home_max = {band * (c + 1), params.world_size_m};
-    mp.home_prob = params.home_prob;
-    world.add_node(mp, routing::create_router(protocol));
-  }
-
-  sim::TrafficParams traffic = params.traffic;
-  if (params.full_ttl_window) {
-    traffic.stop = params.duration_s - traffic.ttl;
-  }
-  world.set_traffic(traffic);
-  world.run(params.duration_s);
-
-  ScenarioResult result;
-  result.metrics = world.metrics();
-  result.contact_events = world.contact_events();
-  result.wall_seconds = elapsed_seconds(start);
-  result.protocol = params.protocol.name;
-  result.node_count = params.node_count;
-  result.seed = params.seed;
-  return result;
+  BusScenarioParams params;
+  params.node_count = spec.groups[0].count;
+  params.duration_s = spec.duration_s;
+  params.seed = spec.seed;
+  params.map = spec.map.params.downtown;
+  params.bus = spec.groups[0].params.bus;
+  params.world = spec.world;
+  return detect_bus_communities(params, detection, warmup_s);
 }
 
 ScenarioResult run_community_scenario(const CommunityScenarioParams& params) {

@@ -1,6 +1,11 @@
-// Scenario builders: turn a declarative parameter block into a ready World.
-// The bus scenario is the paper's evaluation setup (Sec. V-A): a synthetic
-// downtown map with bus routes, nodes = buses, communities = districts.
+// Scenario execution: ScenarioRunner::run(const ScenarioSpec&) is the ONE
+// entry point that turns a declarative spec (harness/spec.hpp) into a
+// finished simulation. The BusScenarioParams / CommunityScenarioParams
+// structs predate the spec API and survive as thin adapters (to_spec), bit-
+// identical to their original hand-rolled builders (enforced by
+// harness_spec_equivalence_test). The bus scenario is the paper's
+// evaluation setup (Sec. V-A): a synthetic downtown map with bus routes,
+// nodes = buses, communities = districts.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +13,7 @@
 
 #include "core/community_detection.hpp"
 #include "geo/map_gen.hpp"
+#include "harness/spec.hpp"
 #include "mobility/bus_movement.hpp"
 #include "mobility/community_movement.hpp"
 #include "routing/factory.hpp"
@@ -66,7 +72,15 @@ class ScenarioRunner {
   ScenarioRunner(ScenarioRunner&&) noexcept;
   ScenarioRunner& operator=(ScenarioRunner&&) noexcept;
 
+  /// THE execution entry: builds the spec's map, communities, and node
+  /// groups through the registries and runs the simulation to completion.
+  /// Throws std::invalid_argument (validate_spec / create_router) on
+  /// inconsistent specs.
+  ScenarioResult run(const ScenarioSpec& spec);
+
+  /// Adapter: run(to_spec(params)).
   ScenarioResult run(const BusScenarioParams& params);
+  /// Adapter: run(to_spec(params)).
   ScenarioResult run(const CommunityScenarioParams& params);
 
  private:
@@ -94,6 +108,19 @@ struct CommunityScenarioParams {
 
 ScenarioResult run_community_scenario(const CommunityScenarioParams& params);
 
+/// Runs one spec to completion on a fresh runner (single-shot convenience;
+/// campaigns should keep a ScenarioRunner for world reuse).
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Converts the legacy bus parameter block into the equivalent spec: a
+/// downtown map and one `bus` group. Bit-identical execution.
+ScenarioSpec to_spec(const BusScenarioParams& params);
+
+/// Converts the legacy community parameter block into the equivalent spec:
+/// an open-field map and one `community` group with band-tiled homes.
+/// Bit-identical execution.
+ScenarioSpec to_spec(const CommunityScenarioParams& params);
+
 /// Builds the community table for a bus scenario (round-robin route
 /// assignment; community = route district), exposed so callers can
 /// construct CR configs that match the node assignment.
@@ -106,6 +133,12 @@ core::CommunityTable bus_scenario_communities(const geo::BusNetwork& net,
 /// This is the distributed-construction path from the paper's future work,
 /// evaluated offline; see bench/ablation_communities.
 core::CommunityTable detect_bus_communities(const BusScenarioParams& params,
+                                            const core::DetectionParams& detection,
+                                            double warmup_s);
+
+/// Spec form of the warm-up detection: requires a downtown map and a
+/// single bus group (throws std::invalid_argument otherwise).
+core::CommunityTable detect_bus_communities(const ScenarioSpec& spec,
                                             const core::DetectionParams& detection,
                                             double warmup_s);
 

@@ -1,0 +1,219 @@
+#include "harness/spec.hpp"
+
+#include <cctype>
+#include <memory>
+#include <stdexcept>
+
+#include "mobility/bus_movement.hpp"
+#include "mobility/trace_playback.hpp"
+#include "sim/world.hpp"
+
+namespace dtn::harness {
+
+int ScenarioSpec::node_count() const {
+  int total = 0;
+  for (const auto& g : groups) total += g.count;
+  return total;
+}
+
+namespace {
+
+[[noreturn]] void build_error(const GroupSpec& group, const std::string& what) {
+  throw std::invalid_argument("group '" + group.name + "': " + what);
+}
+
+int community_classes(const ScenarioSpec& spec) {
+  return spec.communities.count > 0 ? spec.communities.count : 1;
+}
+
+// ---- bus --------------------------------------------------------------------
+// Route assignment is round-robin over the map's routes by group-local
+// index; community = the route's district (the paper's setup). Matches the
+// pre-spec BusScenarioParams path bit for bit when the spec has one bus
+// group (enforced by harness_spec_equivalence_test).
+
+void bus_assign_communities(const GroupBuildContext& ctx, const GroupSpec& group,
+                            std::vector<int>& cid) {
+  if (!ctx.map.network || ctx.map.network->routes.empty()) {
+    build_error(group, "model 'bus' requires a map with routes (map.kind = downtown)");
+  }
+  const auto& routes = ctx.map.network->routes;
+  for (int v = 0; v < group.count; ++v) {
+    cid.push_back(routes[static_cast<std::size_t>(v) % routes.size()].district);
+  }
+}
+
+void bus_add_nodes(sim::World& world, const GroupBuildContext& ctx,
+                   const GroupSpec& group, const routing::ProtocolConfig& protocol) {
+  if (ctx.map.routes.empty()) {
+    build_error(group, "model 'bus' requires a map with routes (map.kind = downtown)");
+  }
+  for (int v = 0; v < group.count; ++v) {
+    const std::size_t route_idx = static_cast<std::size_t>(v) % ctx.map.routes.size();
+    // Spec-form add_node: the bus lane takes the route + params directly,
+    // no per-node heap movement object.
+    world.add_node(ctx.map.routes[route_idx], group.params.bus,
+                   routing::create_router(protocol));
+  }
+}
+
+// ---- community --------------------------------------------------------------
+// The map extent is tiled into communities.count vertical bands; node v
+// (group-local) belongs to band v % count (= round_robin_communities) and
+// keeps its waypoints inside it with probability home_prob. Matches the
+// pre-spec CommunityScenarioParams path bit for bit for a single group on
+// an open-field map.
+
+void community_add_nodes(sim::World& world, const GroupBuildContext& ctx,
+                         const GroupSpec& group,
+                         const routing::ProtocolConfig& protocol) {
+  const int l = community_classes(ctx.spec);
+  const double band =
+      (ctx.map.world_max.x - ctx.map.world_min.x) / static_cast<double>(l);
+  for (int v = 0; v < group.count; ++v) {
+    const int c = v % l;
+    mobility::CommunityMovementParams mp = group.params.community;
+    mp.world_min = ctx.map.world_min;
+    mp.world_max = ctx.map.world_max;
+    mp.home_min = {ctx.map.world_min.x + band * c, ctx.map.world_min.y};
+    mp.home_max = {ctx.map.world_min.x + band * (c + 1), ctx.map.world_max.y};
+    world.add_node(mp, routing::create_router(protocol));
+  }
+}
+
+// ---- random_waypoint --------------------------------------------------------
+// Unstructured control: waypoints uniform over the whole map extent;
+// communities round-robin (the model has no structure to derive them from).
+
+void waypoint_add_nodes(sim::World& world, const GroupBuildContext& ctx,
+                        const GroupSpec& group,
+                        const routing::ProtocolConfig& protocol) {
+  for (int v = 0; v < group.count; ++v) {
+    mobility::RandomWaypointParams mp = group.params.waypoint;
+    mp.world_min = ctx.map.world_min;
+    mp.world_max = ctx.map.world_max;
+    world.add_node(mp, routing::create_router(protocol));
+  }
+}
+
+// ---- trace ------------------------------------------------------------------
+// Node v (group-local) replays trace node v from the map's trace source.
+
+void trace_add_nodes(sim::World& world, const GroupBuildContext& ctx,
+                     const GroupSpec& group, const routing::ProtocolConfig& protocol) {
+  if (!ctx.map.trace) {
+    build_error(group, "model 'trace' requires map.kind = trace");
+  }
+  auto models = mobility::TracePlayback::from_trace(*ctx.map.trace);
+  if (static_cast<int>(models.size()) < group.count) {
+    build_error(group, "trace has " + std::to_string(models.size()) +
+                           " nodes, group wants " + std::to_string(group.count));
+  }
+  for (int v = 0; v < group.count; ++v) {
+    world.add_node(std::move(models[static_cast<std::size_t>(v)]),
+                   routing::create_router(protocol));
+  }
+}
+
+std::vector<GroupBuilder>& registry() {
+  static std::vector<GroupBuilder> builders{
+      {"bus", bus_assign_communities, bus_add_nodes,
+       /*needs_routes=*/true, /*needs_trace=*/false},
+      {"random_waypoint", round_robin_communities, waypoint_add_nodes,
+       /*needs_routes=*/false, /*needs_trace=*/false},
+      {"community", round_robin_communities, community_add_nodes,
+       /*needs_routes=*/false, /*needs_trace=*/false},
+      {"trace", round_robin_communities, trace_add_nodes,
+       /*needs_routes=*/false, /*needs_trace=*/true},
+  };
+  return builders;
+}
+
+}  // namespace
+
+void round_robin_communities(const GroupBuildContext& ctx, const GroupSpec& group,
+                             std::vector<int>& cid) {
+  const int l = community_classes(ctx.spec);
+  for (int v = 0; v < group.count; ++v) cid.push_back(v % l);
+}
+
+const GroupBuilder* find_group_builder(const std::string& model) {
+  for (const auto& b : registry()) {
+    if (b.model == model) return &b;
+  }
+  return nullptr;
+}
+
+void register_group_builder(const GroupBuilder& builder) {
+  for (auto& b : registry()) {
+    if (b.model == builder.model) {
+      b = builder;
+      return;
+    }
+  }
+  registry().push_back(builder);
+}
+
+void validate_spec(const ScenarioSpec& spec) {
+  if (spec.groups.empty()) {
+    throw std::invalid_argument("spec has no node groups (add group.<name>.model)");
+  }
+  if (!(spec.duration_s > 0.0)) {
+    throw std::invalid_argument("scenario.duration must be > 0");
+  }
+  const geo::MapKindInfo* map_kind = geo::find_map_kind(spec.map.kind);
+  if (map_kind == nullptr) {
+    throw std::invalid_argument("unknown map kind '" + spec.map.kind + "'");
+  }
+  if (spec.communities.source != "auto" && spec.communities.source != "round_robin") {
+    throw std::invalid_argument("communities.source must be 'auto' or 'round_robin'");
+  }
+  for (std::size_t i = 0; i < spec.groups.size(); ++i) {
+    const GroupSpec& g = spec.groups[i];
+    // Group names are config-key segments (group.<name>.<param>), so the
+    // charset must keep the serialized form parseable.
+    bool name_ok = !g.name.empty();
+    for (const char c : g.name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
+        name_ok = false;
+        break;
+      }
+    }
+    if (!name_ok) {
+      throw std::invalid_argument(
+          "group name '" + g.name +
+          "' must be non-empty letters/digits/'_'/'-' (it becomes a config key)");
+    }
+    if (g.count < 0) {
+      throw std::invalid_argument("group '" + g.name + "': count must be >= 0");
+    }
+    const GroupBuilder* builder = find_group_builder(g.model);
+    if (mobility::find_mobility_model(g.model) == nullptr || builder == nullptr) {
+      throw std::invalid_argument("group '" + g.name + "': unknown mobility model '" +
+                                  g.model + "'");
+    }
+    if (builder->needs_routes && !map_kind->provides_routes) {
+      throw std::invalid_argument("group '" + g.name + "': model '" + g.model +
+                                  "' requires a map with routes (map.kind = " +
+                                  spec.map.kind + " has none)");
+    }
+    if (builder->needs_trace && !map_kind->provides_trace) {
+      throw std::invalid_argument("group '" + g.name + "': model '" + g.model +
+                                  "' requires map.kind = trace (map.kind = " +
+                                  spec.map.kind + ")");
+    }
+    for (std::size_t j = i + 1; j < spec.groups.size(); ++j) {
+      if (spec.groups[j].name == g.name) {
+        throw std::invalid_argument("duplicate group name '" + g.name + "'");
+      }
+    }
+  }
+  if (spec.node_count() <= 0) {
+    throw std::invalid_argument("spec has no nodes (set group.<name>.count)");
+  }
+  if (!routing::is_known_protocol(spec.protocol.name)) {
+    throw std::invalid_argument("unknown protocol '" + spec.protocol.name + "'");
+  }
+}
+
+}  // namespace dtn::harness

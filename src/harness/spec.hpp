@@ -1,0 +1,139 @@
+// The declarative experiment-definition API (tentpole of the ScenarioSpec
+// redesign): ONE spec type describes a complete simulation run — map
+// source, per-group mobility, radio/world, traffic, protocol, communities,
+// duration and seed — and ScenarioRunner::run(const ScenarioSpec&) is the
+// single execution entry every harness path (params-struct adapters,
+// sweeps, benches, the dtnsim CLI) funnels through.
+//
+// Composition is registry-driven end to end:
+//   - map.kind        -> geo::find_map_kind()        (downtown / open_field / trace)
+//   - group.*.model   -> mobility::find_mobility_model() for the parameter
+//                        vocabulary, plus the harness group-builder registry
+//                        (find_group_builder) for node placement;
+//   - protocol.name   -> routing::create_router()'s protocol registry.
+// Registering a new entry in any of the three makes it addressable from
+// scenario files and sweep axes with no harness changes.
+//
+// Specs are value types: copyable, serializable to ONE-style `key = value`
+// config files (harness/spec_io.hpp), and overridable key-by-key
+// (apply_override), which is what makes any parameter sweepable
+// (harness/sweep.hpp SpecSweepOptions).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/community.hpp"
+#include "geo/map_registry.hpp"
+#include "mobility/registry.hpp"
+#include "routing/factory.hpp"
+#include "sim/traffic.hpp"
+#include "sim/world.hpp"
+
+namespace dtn::sim {
+class World;
+}
+
+namespace dtn::harness {
+
+/// One homogeneous node group: `count` nodes sharing a mobility model and
+/// its parameters. Heterogeneous worlds (buses + pedestrians in one run)
+/// are expressed as multiple groups; node indices are assigned in group
+/// order, first group first.
+struct GroupSpec {
+  std::string name = "nodes";  ///< key segment: group.<name>.<param>
+  std::string model = "bus";   ///< mobility registry key
+  int count = 0;
+  mobility::GroupParams params;
+};
+
+/// Map source: kind selects a geo::MapKindInfo registry entry; params holds
+/// the kind's tunables.
+struct MapSpec {
+  std::string kind = "downtown";
+  geo::MapParams params;
+};
+
+/// How node -> community ids are assigned (CR's input; ignored by every
+/// other protocol).
+///   auto        — each group's model decides: bus groups take their route's
+///                 district, community groups take their home band, other
+///                 models round-robin over `count`;
+///   round_robin — community_of(v) = group-local index % count for every
+///                 group.
+struct CommunitySpec {
+  std::string source = "auto";
+  int count = 4;  ///< bands / round-robin classes (also community-group tiling)
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  double duration_s = 10000.0;
+  std::uint64_t seed = 1;
+  /// When true (default) traffic generation stops at duration - TTL so
+  /// every generated message has a full TTL window inside the run.
+  bool full_ttl_window = true;
+
+  MapSpec map;
+  std::vector<GroupSpec> groups;
+  sim::WorldConfig world;      ///< radio/world (seed overlaid from `seed`)
+  sim::TrafficParams traffic;
+  routing::ProtocolConfig protocol;  ///< `communities` filled at build time
+  CommunitySpec communities;
+
+  /// Programmatic-only (not expressible in config files): when set, this
+  /// table replaces the spec-derived community assignment — used by the
+  /// detected-communities ablation.
+  std::shared_ptr<const core::CommunityTable> communities_override;
+
+  /// Total node count across groups.
+  [[nodiscard]] int node_count() const;
+};
+
+// ---- group-builder registry -------------------------------------------------
+// The composition half of a mobility model: how a group's nodes join a
+// World. Split from mobility::MobilityModelInfo because placement needs
+// sim/harness context (built map, community layout, router factory) that
+// the mobility layer must not depend on.
+
+struct GroupBuildContext {
+  const ScenarioSpec& spec;
+  const geo::BuiltMap& map;
+  int first_node = 0;  ///< global index of the group's first node
+};
+
+struct GroupBuilder {
+  std::string model;  ///< mobility registry key this builder serves
+  /// Appends one community id per node of `group` to `cid` ("auto" source;
+  /// see CommunitySpec).
+  void (*assign_communities)(const GroupBuildContext& ctx, const GroupSpec& group,
+                             std::vector<int>& cid);
+  /// Adds the group's nodes to `world`, one router per node from
+  /// `protocol`. Must add exactly group.count nodes in group-local order.
+  void (*add_nodes)(sim::World& world, const GroupBuildContext& ctx,
+                    const GroupSpec& group, const routing::ProtocolConfig& protocol);
+  /// Map capabilities this model requires (checked against
+  /// geo::MapKindInfo::provides_* in validate_spec, so `dtnsim check`
+  /// rejects what run would reject).
+  bool needs_routes = false;
+  bool needs_trace = false;
+};
+
+const GroupBuilder* find_group_builder(const std::string& model);
+void register_group_builder(const GroupBuilder& builder);
+
+/// The assign_communities fallback for models without intrinsic community
+/// structure: group-local index % CommunitySpec::count. Also used for
+/// every group when communities.source = round_robin, and available to
+/// custom group builders.
+void round_robin_communities(const GroupBuildContext& ctx, const GroupSpec& group,
+                             std::vector<int>& cid);
+
+/// Validates spec consistency beyond per-key parsing (at least one group,
+/// known model/map/protocol names, model/map compatibility). Throws
+/// std::invalid_argument with an explanatory message.
+void validate_spec(const ScenarioSpec& spec);
+
+}  // namespace dtn::harness

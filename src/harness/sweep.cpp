@@ -7,18 +7,13 @@
 #include <thread>
 #include <utility>
 
+#include "harness/spec_io.hpp"
 #include "util/thread_pool.hpp"
+#include "util/value_parse.hpp"
 
 namespace dtn::harness {
 
 namespace {
-
-struct Task {
-  std::size_t point;
-  std::string protocol;
-  int nodes;
-  std::uint64_t seed;
-};
 
 /// One run's scalar metric sample; folded into the PointResult
 /// accumulators in task order after the whole grid executed.
@@ -31,14 +26,6 @@ struct SeedSample {
   double contacts = 0.0;
 };
 
-BusScenarioParams task_params(const SweepOptions& options, const Task& task) {
-  BusScenarioParams params = options.base;
-  params.protocol.name = task.protocol;
-  params.node_count = task.nodes;
-  params.seed = task.seed;
-  return params;
-}
-
 SeedSample sample_of(const ScenarioResult& run) {
   SeedSample s;
   s.delivery_ratio = run.metrics.delivery_ratio();
@@ -50,7 +37,33 @@ SeedSample sample_of(const ScenarioResult& run) {
   return s;
 }
 
-std::string task_label(const Task& task) {
+void fold_sample(PointResult& point, const SeedSample& s) {
+  point.delivery_ratio.add(s.delivery_ratio);
+  point.latency.add(s.latency);
+  point.goodput.add(s.goodput);
+  point.control_mb.add(s.control_mb);
+  point.relayed.add(s.relayed);
+  point.contacts.add(s.contacts);
+}
+
+// ---- legacy engine ----------------------------------------------------------
+
+struct LegacyTask {
+  std::size_t point;
+  std::string protocol;
+  int nodes;
+  std::uint64_t seed;
+};
+
+BusScenarioParams legacy_task_params(const SweepOptions& options, const LegacyTask& task) {
+  BusScenarioParams params = options.base;
+  params.protocol.name = task.protocol;
+  params.node_count = task.nodes;
+  params.seed = task.seed;
+  return params;
+}
+
+std::string legacy_task_label(const LegacyTask& task) {
   return task.protocol + "/n=" + std::to_string(task.nodes) +
          "/seed=" + std::to_string(task.seed);
 }
@@ -59,7 +72,7 @@ std::string task_label(const Task& task) {
 /// throwaway pool per call, one heap task + future per run, a fresh World
 /// per run, and a single merge mutex that also serializes the progress
 /// callback (the contention bug fixed in the reused engine).
-void run_sweep_legacy(const SweepOptions& options, const std::vector<Task>& tasks,
+void run_sweep_legacy(const SweepOptions& options, const std::vector<LegacyTask>& tasks,
                       std::vector<PointResult>& results) {
   std::mutex merge_mutex;
   util::ThreadPool pool(options.threads);
@@ -67,18 +80,13 @@ void run_sweep_legacy(const SweepOptions& options, const std::vector<Task>& task
   futures.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     futures.push_back(pool.submit([&options, &tasks, &results, &merge_mutex, i] {
-      const Task& task = tasks[i];
-      const ScenarioResult run = run_bus_scenario(task_params(options, task));
+      const LegacyTask& task = tasks[i];
+      const ScenarioResult run = run_bus_scenario(legacy_task_params(options, task));
 
       const std::lock_guard<std::mutex> lock(merge_mutex);
       PointResult& point = results[task.point];
-      point.delivery_ratio.add(run.metrics.delivery_ratio());
-      point.latency.add(run.metrics.latency_mean());
-      point.goodput.add(run.metrics.goodput());
-      point.control_mb.add(static_cast<double>(run.metrics.control_bytes()) / 1e6);
-      point.relayed.add(static_cast<double>(run.metrics.relayed()));
-      point.contacts.add(static_cast<double>(run.contact_events));
-      if (options.progress) options.progress(task_label(task));
+      fold_sample(point, sample_of(run));
+      if (options.progress) options.progress(legacy_task_label(task));
     }));
   }
   for (auto& f : futures) f.get();
@@ -86,28 +94,78 @@ void run_sweep_legacy(const SweepOptions& options, const std::vector<Task>& task
 
 }  // namespace
 
-std::vector<PointResult> run_sweep(const SweepOptions& options) {
-  std::vector<PointResult> results;
-  std::vector<Task> tasks;
-  for (const auto& protocol : options.protocols) {
-    for (const int nodes : options.node_counts) {
-      PointResult point;
-      point.protocol = protocol;
-      point.node_count = nodes;
-      point.copies = options.base.protocol.copies;
-      point.alpha = options.base.protocol.alpha;
-      const std::size_t idx = results.size();
-      results.push_back(std::move(point));
-      for (int s = 0; s < options.seeds; ++s) {
-        tasks.push_back(Task{idx, protocol, nodes,
-                             options.seed_base + static_cast<std::uint64_t>(s)});
+std::string SpecPointResult::label() const {
+  std::string out;
+  for (const auto& [key, value] : overrides) {
+    if (!out.empty()) out += " ";
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
+  // Expand the axis cross product into resolved per-point specs (first
+  // axis outermost). An axis with no values yields an empty grid, matching
+  // the pre-spec engine's behavior for empty protocol lists.
+  std::size_t total = 1;
+  for (const auto& axis : options.axes) total *= axis.values.size();
+
+  // The per-task seed overwrites spec.seed below, so a scenario.seed axis
+  // would be silently ignored — reject it instead of lying. Ditto
+  // duplicate axis keys: the later override wins per point, so the grid
+  // would run identical specs under different labels.
+  for (std::size_t i = 0; i < options.axes.size(); ++i) {
+    const std::string& key = options.axes[i].key;
+    if (key == "scenario.seed") {
+      throw SpecError({{0, "scenario.seed cannot be a sweep axis; seeds are the "
+                           "per-point repetition (seeds / seed_base)"}},
+                      "sweep");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (options.axes[j].key == key) {
+        throw SpecError({{0, "duplicate sweep axis '" + key +
+                             "' — the later values would overwrite the earlier "
+                             "ones under the earlier labels"}},
+                        "sweep");
       }
     }
   }
 
-  if (options.exec == SweepOptions::Exec::kLegacy) {
-    run_sweep_legacy(options, tasks, results);
-    return results;
+  std::vector<SpecPointResult> points;
+  std::vector<ScenarioSpec> specs;
+  points.reserve(total);
+  specs.reserve(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    ScenarioSpec spec = options.base;
+    SpecPointResult point;
+    std::size_t stride = total;
+    for (const auto& axis : options.axes) {
+      stride /= axis.values.size();
+      const std::string& value = axis.values[(p / stride) % axis.values.size()];
+      apply_override(spec, axis.key, value);  // throws SpecError on bad key
+      point.overrides.emplace_back(axis.key, value);
+    }
+    // Fail fast at expansion: one structurally invalid grid point must not
+    // abort a campaign mid-flight after hours of finished runs.
+    validate_spec(spec);
+    point.result.protocol = spec.protocol.name;
+    point.result.node_count = spec.node_count();
+    point.result.copies = spec.protocol.copies;
+    point.result.alpha = spec.protocol.alpha;
+    points.push_back(std::move(point));
+    specs.push_back(std::move(spec));
+  }
+
+  struct Task {
+    std::size_t point;
+    std::uint64_t seed;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(points.size() * static_cast<std::size_t>(std::max(options.seeds, 0)));
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (int s = 0; s < options.seeds; ++s) {
+      tasks.push_back(Task{p, options.seed_base + static_cast<std::uint64_t>(s)});
+    }
   }
 
   std::size_t workers = options.threads != 0
@@ -121,11 +179,16 @@ std::vector<PointResult> run_sweep(const SweepOptions& options) {
   std::vector<SeedSample> samples(tasks.size());
   std::mutex progress_mutex;
   const auto run_task = [&](ScenarioRunner& runner, std::size_t i) {
-    samples[i] = sample_of(runner.run(task_params(options, tasks[i])));
+    ScenarioSpec spec = specs[tasks[i].point];
+    spec.seed = tasks[i].seed;
+    samples[i] = sample_of(runner.run(spec));
     if (options.progress) {
       // Outside every merge path; serialized only against itself.
+      std::string label = points[tasks[i].point].label();
+      if (!label.empty()) label += "/";
+      label += "seed=" + std::to_string(tasks[i].seed);
       const std::lock_guard<std::mutex> lock(progress_mutex);
-      options.progress(task_label(tasks[i]));
+      options.progress(label);
     }
   };
 
@@ -140,15 +203,55 @@ std::vector<PointResult> run_sweep(const SweepOptions& options) {
   }
 
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    PointResult& point = results[tasks[i].point];
-    const SeedSample& s = samples[i];
-    point.delivery_ratio.add(s.delivery_ratio);
-    point.latency.add(s.latency);
-    point.goodput.add(s.goodput);
-    point.control_mb.add(s.control_mb);
-    point.relayed.add(s.relayed);
-    point.contacts.add(s.contacts);
+    fold_sample(points[tasks[i].point].result, samples[i]);
   }
+  return points;
+}
+
+std::vector<PointResult> run_sweep(const SweepOptions& options) {
+  if (options.exec == SweepOptions::Exec::kLegacy) {
+    std::vector<PointResult> results;
+    std::vector<LegacyTask> tasks;
+    for (const auto& protocol : options.protocols) {
+      for (const int nodes : options.node_counts) {
+        PointResult point;
+        point.protocol = protocol;
+        point.node_count = nodes;
+        point.copies = options.base.protocol.copies;
+        point.alpha = options.base.protocol.alpha;
+        const std::size_t idx = results.size();
+        results.push_back(std::move(point));
+        for (int s = 0; s < options.seeds; ++s) {
+          tasks.push_back(LegacyTask{idx, protocol, nodes,
+                                     options.seed_base + static_cast<std::uint64_t>(s)});
+        }
+      }
+    }
+    run_sweep_legacy(options, tasks, results);
+    return results;
+  }
+
+  // The protocol × node-count grid is just two declarative axes over the
+  // bus spec; task order (point-major, seeds inner) matches the legacy
+  // enumeration, so aggregates stay bit-identical.
+  SpecSweepOptions spec_options;
+  spec_options.base = to_spec(options.base);
+  SweepAxis protocol_axis{"protocol.name", options.protocols};
+  SweepAxis node_axis{"scenario.nodes", {}};
+  node_axis.values.reserve(options.node_counts.size());
+  for (const int n : options.node_counts) {
+    node_axis.values.push_back(util::format_value(n));
+  }
+  spec_options.axes = {std::move(protocol_axis), std::move(node_axis)};
+  spec_options.seeds = options.seeds;
+  spec_options.seed_base = options.seed_base;
+  spec_options.threads = options.threads;
+  spec_options.progress = options.progress;
+
+  std::vector<SpecPointResult> spec_results = run_spec_sweep(spec_options);
+  std::vector<PointResult> results;
+  results.reserve(spec_results.size());
+  for (auto& r : spec_results) results.push_back(std::move(r.result));
   return results;
 }
 
@@ -204,6 +307,29 @@ util::TablePrinter metric_table(const std::vector<PointResult>& results,
       } else {
         table.add_cell(metric_value(*it->second, metric), precision);
       }
+    }
+  }
+  return table;
+}
+
+util::TablePrinter sweep_table(const std::vector<SpecPointResult>& results,
+                               int precision) {
+  std::vector<std::string> headers;
+  if (!results.empty()) {
+    for (const auto& [key, value] : results.front().overrides) headers.push_back(key);
+  }
+  for (const auto metric : {Metric::kDeliveryRatio, Metric::kLatency, Metric::kGoodput,
+                            Metric::kControlMb, Metric::kRelayed}) {
+    headers.push_back(metric_name(metric));
+  }
+  util::TablePrinter table(std::move(headers));
+  for (const auto& point : results) {
+    table.new_row();
+    for (const auto& [key, value] : point.overrides) table.add_cell(value);
+    for (const auto metric : {Metric::kDeliveryRatio, Metric::kLatency, Metric::kGoodput,
+                              Metric::kControlMb, Metric::kRelayed}) {
+      table.add_cell(metric_value(point.result, metric),
+                     metric == Metric::kLatency ? 1 : precision);
     }
   }
   return table;

@@ -1,6 +1,14 @@
-// Sweep runner: executes a (protocol × node-count × seed) grid of bus
-// scenarios, aggregates per-point means across seeds, and prints
-// figure-style tables.
+// Sweep runner: executes a grid of scenarios and aggregates per-point
+// means across seeds.
+//
+// Since the ScenarioSpec redesign the grid is DECLARATIVE: a sweep is a
+// base ScenarioSpec plus axes of `key = value` overrides (SweepAxis), so
+// ANY spec parameter — protocol, node count, buffer size, TTL, mobility
+// speeds, map shape — can be swept or ablated through the same engine
+// (run_spec_sweep). The original protocol × node-count SweepOptions
+// survives as a thin adapter that expands into the axes
+// {protocol.name, scenario.nodes} (bit-identical aggregates, enforced by
+// integration_sweep_test).
 //
 // Execution engine (PR 3): runs fan out over the persistent shared thread
 // pool with chunked dispatch — no per-run task/future allocations — and
@@ -9,15 +17,16 @@
 // samples land in a per-task slot; the PointResult accumulators are folded
 // serially in task order after the loop, so sweep aggregates are
 // BIT-IDENTICAL for any thread count, any scheduling, and fresh- vs
-// reused-world execution (enforced by integration_sweep_test). The
-// progress callback fires outside any merge path, serialized only against
-// itself. SweepOptions::exec = kLegacy keeps the pre-PR3 engine (throwaway
-// pool, one heap task + future per run, fresh World per run, mutex-
-// serialized merge + progress) in the same binary as the bench baseline.
+// reused-world execution. The progress callback fires outside any merge
+// path, serialized only against itself. SweepOptions::exec = kLegacy keeps
+// the pre-PR3 engine (throwaway pool, one heap task + future per run,
+// fresh World per run, mutex-serialized merge + progress) in the same
+// binary as the bench baseline.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/scenario.hpp"
@@ -40,26 +49,62 @@ struct PointResult {
   util::StatAccumulator contacts;
 };
 
+/// One sweep dimension: a spec key (apply_override vocabulary) and the
+/// values it takes. Axes combine as a cross product, first axis outermost.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Declarative sweep: base spec + axis overrides.
+struct SpecSweepOptions {
+  ScenarioSpec base;
+  std::vector<SweepAxis> axes;
+  int seeds = 2;
+  std::uint64_t seed_base = 1000;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Optional progress callback (run label) invoked as runs finish. May
+  /// fire from worker threads; calls are serialized against each other but
+  /// never hold any merge/result lock.
+  std::function<void(const std::string&)> progress;
+};
+
+/// One resolved grid point: the axis assignments that produced it plus the
+/// aggregated metrics (PointResult meta fields are filled from the
+/// resolved spec: protocol name, total node count, copies, alpha).
+struct SpecPointResult {
+  std::vector<std::pair<std::string, std::string>> overrides;  ///< key, value per axis
+  PointResult result;
+  /// "key=value key=value" (empty for an axis-less sweep).
+  [[nodiscard]] std::string label() const;
+};
+
+/// Runs the declarative grid; points ordered by the axis cross product
+/// (first axis outermost). Throws SpecError on an invalid axis key/value
+/// and std::invalid_argument on specs that fail validation.
+std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options);
+
 struct SweepOptions {
   std::vector<std::string> protocols;
   std::vector<int> node_counts;
   int seeds = 2;
   std::uint64_t seed_base = 1000;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
-  /// kReused (default): persistent pool, chunked dispatch, reusable
-  /// per-worker Worlds, deterministic task-order fold. kLegacy: the pre-PR3
-  /// execution path, kept for A/B benchmarking (bench_sweep).
+  /// kReused (default): the spec-sweep engine (persistent pool, chunked
+  /// dispatch, reusable per-worker Worlds, deterministic task-order fold).
+  /// kLegacy: the pre-PR3 execution path, kept for A/B benchmarking
+  /// (bench_sweep).
   enum class Exec { kReused, kLegacy };
   Exec exec = Exec::kReused;
   /// Applied to every point before protocol/node count are overlaid.
   BusScenarioParams base;
   /// Optional progress callback (point label) invoked as runs finish.
-  /// May fire from worker threads; calls are serialized against each other
-  /// but never hold any merge/result lock.
   std::function<void(const std::string&)> progress;
 };
 
-/// Runs the grid; results ordered by (protocol, node_count) as given.
+/// Adapter: expands into run_spec_sweep over axes
+/// {protocol.name = protocols, scenario.nodes = node_counts}. Results
+/// ordered by (protocol, node_count) as given.
 std::vector<PointResult> run_sweep(const SweepOptions& options);
 
 /// Renders one metric across the grid as a table: rows = node counts,
@@ -68,6 +113,11 @@ enum class Metric { kDeliveryRatio, kLatency, kGoodput, kControlMb, kRelayed };
 
 util::TablePrinter metric_table(const std::vector<PointResult>& results,
                                 Metric metric, int precision = 4);
+
+/// Flat table for arbitrary-axis sweeps: one row per point, axis columns
+/// first, then every metric mean.
+util::TablePrinter sweep_table(const std::vector<SpecPointResult>& results,
+                               int precision = 4);
 
 /// Column label used in output for a metric.
 std::string metric_name(Metric metric);

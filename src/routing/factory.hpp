@@ -1,8 +1,16 @@
 // Router factory: builds any protocol in the repository by name, with the
 // shared knobs the experiments sweep (λ, α, window). One factory call per
 // node — router instances are per-node state and never shared.
+//
+// Since the ScenarioSpec redesign the factory is registry-backed: built-in
+// protocols are pre-registered (paper Figure-2 order first, extensions
+// after) and register_protocol() lets applications add their own routers,
+// which then work everywhere a protocol name does — scenario files,
+// `dtnsim run --set protocol.name=...`, sweep axes (see
+// examples/custom_protocol.cpp).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,9 +29,19 @@ struct ProtocolConfig {
   std::shared_ptr<const core::CommunityTable> communities;
 };
 
-/// Protocol names accepted by create_router, in the paper's Figure-2 order
-/// first, extensions after.
+/// Builds one router instance from the shared config.
+using ProtocolFactory = std::function<std::unique_ptr<sim::Router>(const ProtocolConfig&)>;
+
+/// Protocol names accepted by create_router: built-ins in the paper's
+/// Figure-2 order first, then extensions in registration order.
 std::vector<std::string> known_protocols();
+
+/// True when `name` resolves to a registered protocol.
+bool is_known_protocol(const std::string& name);
+
+/// Registers (or replaces) a protocol under `name`. Registration is not
+/// thread-safe; register before spawning sweep workers.
+void register_protocol(const std::string& name, ProtocolFactory factory);
 
 /// Throws std::invalid_argument for unknown names or a CR config without a
 /// community table.

@@ -54,6 +54,45 @@ TEST(Factory, NonQuotaProtocolsUseSingleCopy) {
   }
 }
 
+TEST(Factory, RegisteredProtocolIsCreatableAndListed) {
+  class NullRouter final : public sim::Router {
+   public:
+    [[nodiscard]] std::string name() const override { return "Null"; }
+  };
+  EXPECT_FALSE(is_known_protocol("NullTest"));
+  register_protocol("NullTest", [](const ProtocolConfig&) {
+    return std::make_unique<NullRouter>();
+  });
+  EXPECT_TRUE(is_known_protocol("NullTest"));
+  ProtocolConfig config;
+  config.name = "NullTest";
+  const auto router = create_router(config);
+  ASSERT_NE(router, nullptr);
+  EXPECT_EQ(router->name(), "Null");
+  // Built-ins keep their Figure-2-first ordering; extensions append after
+  // them (not necessarily last — other tests mutate the global registry).
+  const auto names = known_protocols();
+  EXPECT_EQ(names.front(), "EER");
+  const auto it = std::find(names.begin(), names.end(), "NullTest");
+  ASSERT_NE(it, names.end());
+  EXPECT_GE(it - names.begin(), 12) << "extension listed among the built-ins";
+}
+
+TEST(Factory, RegisteringExistingNameReplacesFactory) {
+  class StandInRouter final : public sim::Router {
+   public:
+    [[nodiscard]] std::string name() const override { return "StandIn"; }
+  };
+  const auto count_before = known_protocols().size();
+  register_protocol("ReplaceTest", [](const ProtocolConfig&) {
+    return std::make_unique<StandInRouter>();
+  });
+  register_protocol("ReplaceTest", [](const ProtocolConfig&) {
+    return std::make_unique<StandInRouter>();
+  });
+  EXPECT_EQ(known_protocols().size(), count_before + 1);
+}
+
 TEST(Factory, Figure2LineupIsAvailable) {
   const auto names = known_protocols();
   for (const std::string required :

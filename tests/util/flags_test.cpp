@@ -68,6 +68,37 @@ TEST(Flags, HasAndSet) {
   EXPECT_EQ(f.get_int("y", 0), 2);
 }
 
+TEST(Flags, RepeatedFlagKeepsAllValuesInOrder) {
+  const Flags f = parse({"--set", "a=1", "--set=b=2", "--other", "x", "--set", "c=3"});
+  const auto values = f.get_list("set");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], "a=1");
+  EXPECT_EQ(values[1], "b=2");
+  EXPECT_EQ(values[2], "c=3");
+  // Scalar getters see the last occurrence; absent flags give empty lists.
+  EXPECT_EQ(f.get_string("set", ""), "c=3");
+  EXPECT_TRUE(f.get_list("absent").empty());
+}
+
+TEST(Flags, UnknownFlagsScan) {
+  const Flags f = parse({"--set", "a=1", "--sed", "b=2", "--quiet"});
+  const auto offenders = f.unknown_flags({"set", "quiet"});
+  ASSERT_EQ(offenders.size(), 1u);
+  EXPECT_EQ(offenders[0], "sed");
+  EXPECT_TRUE(f.unknown_flags({"set", "sed", "quiet"}).empty());
+}
+
+TEST(SplitCsv, TokensAndEdgeCases) {
+  const auto tokens = split_csv("EER,CR,,EBR");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "EER");
+  EXPECT_EQ(tokens[1], "CR");
+  EXPECT_EQ(tokens[2], "EBR");
+  EXPECT_TRUE(split_csv("").empty());
+  EXPECT_TRUE(split_csv(",,").empty());
+  EXPECT_EQ(split_csv("solo").size(), 1u);
+}
+
 TEST(EnvInt, ReadsAndFallsBack) {
   ::setenv("DTN_TEST_ENV_INT", "42", 1);
   EXPECT_EQ(env_int("DTN_TEST_ENV_INT", 0), 42);

@@ -1,0 +1,257 @@
+// dtnsim — the scenario-file driver: every experiment the library can
+// express, runnable from a ONE-style config file with no C++ involved.
+//
+//   dtnsim run scenario.cfg [--set key=value]... [--seeds N]
+//   dtnsim sweep scenario.cfg --axis protocol.name=EER,CR \
+//                             --axis scenario.nodes=40,80 [--seeds N] [--threads T]
+//   dtnsim print scenario.cfg [--set key=value]...   # resolved canonical config
+//   dtnsim check scenario.cfg                        # parse + validate, report diagnostics
+//   dtnsim list                                      # registered protocols/models/maps
+//
+// `--set` applies single-key overrides after the file loads (repeatable,
+// applied in order); `--axis key=v1,v2,...` adds one sweep dimension per
+// flag (cross product, first axis outermost). Scenario-file grammar and
+// the key vocabulary live in harness/spec_io.hpp and README.md.
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "harness/spec_io.hpp"
+#include "harness/sweep.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/value_parse.hpp"
+
+namespace {
+
+using namespace dtn;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dtnsim <command> [args]\n"
+               "  run   <scenario.cfg> [--set k=v]... [--seeds N] [--seed-base B]\n"
+               "                       [--threads T] [--quiet]\n"
+               "  sweep <scenario.cfg> [--axis k=v1,v2,..]... [--set k=v]...\n"
+               "                       [--seeds N] [--seed-base B] [--threads T] [--quiet]\n"
+               "  print <scenario.cfg> [--set k=v]...\n"
+               "  check <scenario.cfg>\n"
+               "  list\n");
+  return 2;
+}
+
+/// Strict numeric flag read: util::Flags falls back silently on garbage,
+/// which is the wrong policy for an experiment driver — `--seeds abc`
+/// must fail, not run one seed, and an out-of-range value must not be
+/// narrowed into a different experiment. Returns false after printing a
+/// diagnostic.
+bool get_int_flag(const util::Flags& flags, const std::string& name,
+                  std::int64_t fallback, std::int64_t lo, std::int64_t hi,
+                  std::int64_t& out) {
+  out = fallback;
+  if (!flags.has(name)) return true;  // defaults are not range-checked
+  if (!flags.parse_int(name, out)) {
+    std::fprintf(stderr, "dtnsim: bad value '%s' for --%s (integer expected)\n",
+                 flags.get_string(name, "").c_str(), name.c_str());
+    return false;
+  }
+  if (out < lo || out > hi) {
+    const std::string raw = flags.get_string(name, "");
+    std::fprintf(stderr, "dtnsim: --%s %s out of range [%lld, %lld]\n", name.c_str(),
+                 raw.c_str(), static_cast<long long>(lo), static_cast<long long>(hi));
+    return false;
+  }
+  return true;
+}
+
+/// Strict flag policy: a misspelled flag must not silently run the
+/// experiment with default parameters. Returns false (after printing the
+/// offenders) when any flag is outside `allowed`.
+bool check_flags(const util::Flags& flags, std::initializer_list<const char*> allowed) {
+  const auto offenders = flags.unknown_flags(allowed);
+  for (const auto& name : offenders) {
+    std::fprintf(stderr, "dtnsim: unknown flag '--%s'\n", name.c_str());
+  }
+  return offenders.empty();
+}
+
+void print_point(const harness::PointResult& point) {
+  util::TablePrinter table({"metric", "mean", "stddev", "seeds"});
+  for (const auto metric :
+       {harness::Metric::kDeliveryRatio, harness::Metric::kLatency,
+        harness::Metric::kGoodput, harness::Metric::kControlMb, harness::Metric::kRelayed}) {
+    table.new_row()
+        .add_cell(harness::metric_name(metric))
+        .add_cell(harness::metric_value(point, metric),
+                  metric == harness::Metric::kLatency ? 1 : 4)
+        .add_cell(metric == harness::Metric::kDeliveryRatio
+                      ? point.delivery_ratio.stddev()
+                  : metric == harness::Metric::kLatency   ? point.latency.stddev()
+                  : metric == harness::Metric::kGoodput   ? point.goodput.stddev()
+                  : metric == harness::Metric::kControlMb ? point.control_mb.stddev()
+                                                          : point.relayed.stddev(),
+                  4)
+        .add_cell(static_cast<long long>(point.delivery_ratio.count()));
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+int cmd_run(const std::string& path, const util::Flags& flags) {
+  if (!check_flags(flags, {"set", "seeds", "seed-base", "threads", "quiet"})) {
+    return usage();
+  }
+  harness::SpecSweepOptions options;
+  options.base = harness::load_spec_with_overrides(path, flags.get_list("set"));
+  std::int64_t seeds = 0;
+  std::int64_t seed_base = 0;
+  std::int64_t threads = 0;
+  if (!get_int_flag(flags, "seeds", 1, 1, INT32_MAX, seeds) ||
+      !get_int_flag(flags, "seed-base", static_cast<std::int64_t>(options.base.seed),
+                    0, INT64_MAX, seed_base) ||
+      !get_int_flag(flags, "threads", 0, 0, 4096, threads)) {
+    return 2;
+  }
+  options.seeds = static_cast<int>(seeds);
+  options.seed_base = static_cast<std::uint64_t>(seed_base);
+  options.threads = static_cast<std::size_t>(threads);
+  if (!flags.get_bool("quiet", false)) {
+    options.progress = [](const std::string& label) {
+      std::fprintf(stderr, "  done: %s\n", label.c_str());
+    };
+  }
+  std::printf("scenario '%s': %d nodes, %.0f s, protocol %s, %d seed(s)\n",
+              options.base.name.c_str(), options.base.node_count(),
+              options.base.duration_s, options.base.protocol.name.c_str(),
+              options.seeds);
+  const auto results = harness::run_spec_sweep(options);
+  if (results.empty() || results.front().result.delivery_ratio.count() == 0) {
+    std::fprintf(stderr, "no runs executed (seeds = %d)\n", options.seeds);
+    return 1;
+  }
+  print_point(results.front().result);
+  return 0;
+}
+
+int cmd_sweep(const std::string& path, const util::Flags& flags) {
+  if (!check_flags(flags, {"set", "axis", "seeds", "seed-base", "threads", "quiet"})) {
+    return usage();
+  }
+  harness::SpecSweepOptions options;
+  options.base = harness::load_spec_with_overrides(path, flags.get_list("set"));
+  for (const auto& axis_arg : flags.get_list("axis")) {
+    const auto [key, csv] = harness::split_assignment(axis_arg);
+    harness::SweepAxis axis;
+    axis.key = key;
+    axis.values = util::split_csv(csv);
+    if (axis.values.empty()) {
+      std::fprintf(stderr, "axis '%s' has no values\n", key.c_str());
+      return 2;
+    }
+    options.axes.push_back(std::move(axis));
+  }
+  std::int64_t seeds = 0;
+  std::int64_t seed_base = 0;
+  std::int64_t threads = 0;
+  // seed-base default is the file's scenario.seed, same as `dtnsim run`,
+  // so a one-point sweep and a plain run of the same cfg agree.
+  if (!get_int_flag(flags, "seeds", 2, 1, INT32_MAX, seeds) ||
+      !get_int_flag(flags, "seed-base", static_cast<std::int64_t>(options.base.seed),
+                    0, INT64_MAX, seed_base) ||
+      !get_int_flag(flags, "threads", 0, 0, 4096, threads)) {
+    return 2;
+  }
+  options.seeds = static_cast<int>(seeds);
+  options.seed_base = static_cast<std::uint64_t>(seed_base);
+  options.threads = static_cast<std::size_t>(threads);
+  if (!flags.get_bool("quiet", false)) {
+    options.progress = [](const std::string& label) {
+      std::fprintf(stderr, "  done: %s\n", label.c_str());
+    };
+  }
+  std::size_t grid = 1;
+  for (const auto& axis : options.axes) grid *= axis.values.size();
+  std::printf("sweep '%s': %zu point(s) x %d seed(s)\n", options.base.name.c_str(),
+              grid, options.seeds);
+  const auto results = harness::run_spec_sweep(options);
+  std::printf("\n%s", harness::sweep_table(results).to_string().c_str());
+  return 0;
+}
+
+int cmd_print(const std::string& path, const util::Flags& flags) {
+  if (!check_flags(flags, {"set"})) return usage();
+  const harness::ScenarioSpec spec =
+      harness::load_spec_with_overrides(path, flags.get_list("set"));
+  std::printf("%s", harness::to_config(spec).c_str());
+  return 0;
+}
+
+int cmd_check(const std::string& path) {
+  harness::ScenarioSpec spec;
+  try {
+    spec = harness::load_spec(path);
+  } catch (const harness::SpecError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::fprintf(stderr, "%zu problem(s) in %s\n", e.diagnostics().size(), path.c_str());
+    return 1;
+  }
+  try {
+    harness::validate_spec(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: invalid scenario: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("%s: OK (%d nodes in %zu group(s), protocol %s, %.0f s)\n", path.c_str(),
+              spec.node_count(), spec.groups.size(), spec.protocol.name.c_str(),
+              spec.duration_s);
+  return 0;
+}
+
+void print_names(const char* title, const std::vector<std::string>& names) {
+  std::printf("%s:", title);
+  for (const auto& n : names) std::printf(" %s", n.c_str());
+  std::printf("\n");
+}
+
+int cmd_list() {
+  print_names("protocols", routing::known_protocols());
+  print_names("mobility models", mobility::mobility_model_names());
+  print_names("map kinds", geo::map_kind_names());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const auto& args = flags.positional();
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+  // Every command takes at most one scenario file; extra positionals would
+  // be silently skipped (e.g. `dtnsim check a.cfg b.cfg` "passing" b.cfg
+  // unread), so reject them like unknown flags.
+  const std::size_t max_args = cmd == "list" ? 1 : 2;
+  if (args.size() > max_args) {
+    std::fprintf(stderr, "dtnsim: unexpected argument '%s'\n",
+                 args[max_args].c_str());
+    return usage();
+  }
+  try {
+    if (cmd == "list") {
+      return check_flags(flags, {}) ? cmd_list() : usage();
+    }
+    if (args.size() < 2) return usage();
+    const std::string& path = args[1];
+    if (cmd == "run") return cmd_run(path, flags);
+    if (cmd == "sweep") return cmd_sweep(path, flags);
+    if (cmd == "print") return cmd_print(path, flags);
+    if (cmd == "check") {
+      return check_flags(flags, {}) ? cmd_check(path) : usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dtnsim: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "dtnsim: unknown command '%s'\n", cmd.c_str());
+  return usage();
+}
