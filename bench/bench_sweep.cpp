@@ -265,6 +265,8 @@ int main(int argc, char** argv) {
       "  \"runs\": %zu, \"trials\": %d,\n"
       "  \"legacy_runs_per_sec\": %.3f,\n"
       "  \"reused_runs_per_sec\": %.3f,\n"
+      "  \"legacy_points_per_sec\": %.3f,\n"
+      "  \"reused_points_per_sec\": %.3f,\n"
       "  \"speedup\": %.2f,\n"
       "  \"aggregates_identical\": true,\n"
       "  \"allocs_per_reused_seed\": {\"nodes\": %d, \"steps\": %d, "
@@ -272,7 +274,8 @@ int main(int argc, char** argv) {
       "}\n",
       reused_opt.protocols.size(), reused_opt.node_counts.size(),
       reused_opt.seeds, reused_opt.base.duration_s, runs, trials, legacy_rps,
-      reused_rps, speedup, alloc_nodes, alloc_steps,
+      reused_rps, static_cast<double>(points) / legacy_best,
+      static_cast<double>(points) / reused_best, speedup, alloc_nodes, alloc_steps,
       alloc.reused_allocs_per_seed, reused_allocs_per_step,
       alloc.fresh_allocs_per_seed);
 

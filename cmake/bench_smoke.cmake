@@ -43,4 +43,5 @@ require_fields(BENCH_world_step.json
                allocs_per_step)
 require_fields(BENCH_sweep.json
                bench campaign runs legacy_runs_per_sec reused_runs_per_sec
+               legacy_points_per_sec reused_points_per_sec
                speedup aggregates_identical allocs_per_reused_seed)

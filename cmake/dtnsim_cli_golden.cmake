@@ -1,0 +1,71 @@
+# dtnsim CLI golden tests (ctest target `dtnsim_cli_golden`, label `fast`).
+#
+# Locks the user-facing diagnostic surface of the scenario-file driver:
+#   - `check` on a cfg with unknown keys — the line-numbered nearest-key
+#     suggestion output, exit 1;
+#   - `check` on a cfg with unparsable values — exit 1;
+#   - `run` on a missing file — exit 1;
+#   - `check` on EVERY shipped examples/*.cfg — exit 0 with its golden
+#     summary line (a new example cfg must ship
+#     tests/cli/expected/check_<name>.stdout alongside it).
+# Golden files live in tests/cli/expected/. Commands run with the relevant
+# directory as CWD so goldens contain relative paths only.
+#
+# Invoked by CTest with -DDTNSIM=... -DSOURCE_DIR=... (see CMakeLists.txt).
+
+set(CLI_DIR ${SOURCE_DIR}/tests/cli)
+set(EXPECTED_DIR ${CLI_DIR}/expected)
+
+# Compares one captured stream against its golden file ("" = must be empty).
+function(check_stream label stream golden actual)
+  if(golden STREQUAL "")
+    if(NOT actual STREQUAL "")
+      message(FATAL_ERROR "${label}: expected empty ${stream}, got:\n${actual}")
+    endif()
+    return()
+  endif()
+  if(NOT EXISTS ${EXPECTED_DIR}/${golden})
+    message(FATAL_ERROR "${label}: golden file ${golden} is missing — "
+                        "generate it from verified output")
+  endif()
+  file(READ ${EXPECTED_DIR}/${golden} want)
+  if(NOT actual STREQUAL want)
+    message(FATAL_ERROR "${label}: ${stream} diverged from ${golden}\n"
+                        "--- expected ---\n${want}\n--- actual ---\n${actual}")
+  endif()
+endfunction()
+
+# Runs dtnsim with ARGN in `workdir`; requires exit code `exit_expect`,
+# stdout equal to golden `out_golden` (or empty when ""), stderr equal to
+# golden `err_golden` (or empty when "").
+function(golden_case label workdir exit_expect out_golden err_golden)
+  execute_process(COMMAND ${DTNSIM} ${ARGN} WORKING_DIRECTORY ${workdir}
+                  RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rv STREQUAL "${exit_expect}")
+    message(FATAL_ERROR
+            "${label}: exit code ${rv}, expected ${exit_expect}\nstderr:\n${err}")
+  endif()
+  check_stream("${label}" stdout "${out_golden}" "${out}")
+  check_stream("${label}" stderr "${err_golden}" "${err}")
+endfunction()
+
+golden_case("check unknown_key.cfg" ${CLI_DIR} 1
+            "" check_unknown_key.stderr
+            check unknown_key.cfg)
+golden_case("check bad_value.cfg" ${CLI_DIR} 1
+            "" check_bad_value.stderr
+            check bad_value.cfg)
+golden_case("run missing file" ${CLI_DIR} 1
+            "" run_missing_file.stderr
+            run nosuch.cfg)
+
+file(GLOB example_cfgs ${SOURCE_DIR}/examples/*.cfg)
+if(example_cfgs STREQUAL "")
+  message(FATAL_ERROR "no examples/*.cfg found — glob broken?")
+endif()
+foreach(cfg ${example_cfgs})
+  get_filename_component(name ${cfg} NAME_WE)
+  golden_case("check examples/${name}.cfg" ${SOURCE_DIR} 0
+              check_${name}.stdout ""
+              check examples/${name}.cfg)
+endforeach()

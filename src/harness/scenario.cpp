@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "harness/spec_io.hpp"
+
 namespace dtn::harness {
 
 namespace {
@@ -28,6 +30,22 @@ class ContactLoggerRouter final : public sim::Router {
  private:
   core::ContactCountGraph* graph_;
 };
+
+/// Memo key for the detected-communities warm-up: the canonical config of
+/// the spec with every field the routing-free warm-up cannot observe
+/// normalized away (contact loggers replace all routers, and the warm-up
+/// world generates no traffic). Anything left in the key can only cause a
+/// spurious miss — a recompute — never a wrong hit.
+std::string detection_cache_key(const ScenarioSpec& spec) {
+  ScenarioSpec key = spec;
+  key.name.clear();
+  key.duration_s = 0.0;  // warm-up length is communities.warmup, kept below
+  key.full_ttl_window = false;
+  key.protocol = routing::ProtocolConfig{};
+  key.traffic = sim::TrafficParams{};
+  for (auto& group : key.groups) group.protocol.clear();
+  return to_config(key);
+}
 
 }  // namespace
 
@@ -63,15 +81,27 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   const geo::MapKindInfo* kind = geo::find_map_kind(spec.map.kind);
   const geo::BuiltMap map = kind->build(spec.map.params, spec.seed);
 
-  // Community table: override > per-group model assignment ("auto") or
-  // uniform round-robin.
+  // Community table: override > spec-driven warm-up detection > per-group
+  // model assignment ("auto") or uniform round-robin.
   std::shared_ptr<const core::CommunityTable> communities = spec.communities_override;
+  if (!communities && spec.communities.source == "detected") {
+    // The warm-up pass builds its own throwaway World (it must not disturb
+    // this runner's reusable one), so detection depends only on
+    // (spec, seed) — reused runners and any thread count see the same
+    // table, which is also what makes the per-runner memo below safe.
+    auto& cached = detected_cache_[detection_cache_key(spec)];
+    if (!cached) {
+      cached = std::make_shared<const core::CommunityTable>(detect_spec_communities(
+          spec, core::DetectionParams{}, spec.communities.warmup_s));
+    }
+    communities = cached;
+  }
   if (!communities) {
     std::vector<int> cid;
     cid.reserve(static_cast<std::size_t>(spec.node_count()));
     int first_node = 0;
     for (const auto& group : spec.groups) {
-      const GroupBuildContext ctx{spec, map, first_node};
+      const GroupBuildContext ctx{spec, map, first_node, {}};
       if (spec.communities.source == "round_robin") {
         round_robin_communities(ctx, group, cid);
       } else {
@@ -86,14 +116,31 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   world_config.seed = spec.seed;
   sim::World& world = prepare(world_config);
 
-  routing::ProtocolConfig protocol = spec.protocol;
-  protocol.communities = communities;
-
   int first_node = 0;
   for (const auto& group : spec.groups) {
-    const GroupBuildContext ctx{spec, map, first_node};
-    find_group_builder(group.model)->add_nodes(world, ctx, group, protocol);
+    // Heterogeneous routing: each group resolves its own protocol (per-group
+    // name override over the spec-wide knobs) and hands builders a router
+    // factory — the one seam the detection warm-up also plugs into.
+    routing::ProtocolConfig protocol = resolved_protocol(spec, group);
+    protocol.communities = communities;
+    GroupBuildContext ctx{spec, map, first_node, {}};
+    ctx.make_router = [&protocol] { return routing::create_router(protocol); };
+    find_group_builder(group.model)->add_nodes(world, ctx, group);
     first_node += group.count;
+  }
+
+  // Per-group metric buckets (created/delivered by source group) for
+  // heterogeneous analysis; headline metrics are unaffected.
+  {
+    std::vector<int> node_group;
+    node_group.reserve(static_cast<std::size_t>(spec.node_count()));
+    for (std::size_t g = 0; g < spec.groups.size(); ++g) {
+      for (int v = 0; v < spec.groups[g].count; ++v) {
+        node_group.push_back(static_cast<int>(g));
+      }
+    }
+    world.metrics().set_groups(std::move(node_group),
+                               static_cast<int>(spec.groups.size()));
   }
 
   sim::TrafficParams traffic = spec.traffic;
@@ -179,22 +226,30 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 core::CommunityTable detect_bus_communities(const BusScenarioParams& params,
                                             const core::DetectionParams& detection,
                                             double warmup_s) {
-  geo::DowntownParams map_params = params.map;
-  map_params.seed = params.seed;
-  const geo::BusNetwork net = geo::generate_downtown(map_params);
-  std::vector<std::shared_ptr<const geo::Polyline>> routes;
-  routes.reserve(net.routes.size());
-  for (const auto& r : net.routes) {
-    routes.push_back(std::make_shared<const geo::Polyline>(r.line));
-  }
-  core::ContactCountGraph graph(static_cast<core::NodeIdx>(params.node_count));
-  sim::WorldConfig world_config = params.world;
-  world_config.seed = params.seed;
+  // One warm-up implementation: the generic spec path builds the identical
+  // downtown map, route assignment, and per-node movement streams.
+  return detect_spec_communities(to_spec(params), detection, warmup_s);
+}
+
+core::CommunityTable detect_spec_communities(const ScenarioSpec& spec,
+                                             const core::DetectionParams& detection,
+                                             double warmup_s) {
+  validate_spec(spec);
+  const geo::MapKindInfo* kind = geo::find_map_kind(spec.map.kind);
+  const geo::BuiltMap map = kind->build(spec.map.params, spec.seed);
+
+  core::ContactCountGraph graph(static_cast<core::NodeIdx>(spec.node_count()));
+  sim::WorldConfig world_config = spec.world;
+  world_config.seed = spec.seed;
   sim::World world(world_config);
-  for (int v = 0; v < params.node_count; ++v) {
-    const std::size_t route_idx = static_cast<std::size_t>(v) % routes.size();
-    world.add_node(std::make_unique<mobility::BusMovement>(routes[route_idx], params.bus),
-                   std::make_unique<ContactLoggerRouter>(&graph));
+  int first_node = 0;
+  for (const auto& group : spec.groups) {
+    // Same map, same movement, same per-node seed streams as the real run —
+    // only the routers differ (routing-free contact loggers).
+    GroupBuildContext ctx{spec, map, first_node, {}};
+    ctx.make_router = [&graph] { return std::make_unique<ContactLoggerRouter>(&graph); };
+    find_group_builder(group.model)->add_nodes(world, ctx, group);
+    first_node += group.count;
   }
   world.run(warmup_s);
   return core::detect_communities(graph, detection);
@@ -208,14 +263,7 @@ core::CommunityTable detect_bus_communities(const ScenarioSpec& spec,
     throw std::invalid_argument(
         "detect_bus_communities needs a downtown map and a single bus group");
   }
-  BusScenarioParams params;
-  params.node_count = spec.groups[0].count;
-  params.duration_s = spec.duration_s;
-  params.seed = spec.seed;
-  params.map = spec.map.params.downtown;
-  params.bus = spec.groups[0].params.bus;
-  params.world = spec.world;
-  return detect_bus_communities(params, detection, warmup_s);
+  return detect_spec_communities(spec, detection, warmup_s);
 }
 
 ScenarioResult run_community_scenario(const CommunityScenarioParams& params) {

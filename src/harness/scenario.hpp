@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "core/community_detection.hpp"
 #include "geo/map_gen.hpp"
@@ -88,6 +89,17 @@ class ScenarioRunner {
   sim::World& prepare(const sim::WorldConfig& config);
 
   std::unique_ptr<sim::World> world_;
+  /// Detected-communities warm-up memo. detect_spec_communities is
+  /// deterministic in (map, groups, world, warmup, seed) and routing-free,
+  /// so runs that differ only in routing/traffic knobs (a protocol.name or
+  /// group.<g>.protocol sweep axis) share one warm-up simulation instead of
+  /// re-running bit-identical ones per (point, seed) task. Keyed on the
+  /// canonical serialization of the detection-relevant spec fields; one
+  /// table per distinct (detection inputs, seed) THIS runner touches — the
+  /// memo's scope is the runner, so a threads=N sweep still computes each
+  /// warm-up up to once per worker (results identical either way).
+  std::unordered_map<std::string, std::shared_ptr<const core::CommunityTable>>
+      detected_cache_;
 };
 
 /// Community random-waypoint scenario (no map): `communities` districts
@@ -141,5 +153,15 @@ core::CommunityTable detect_bus_communities(const BusScenarioParams& params,
 core::CommunityTable detect_bus_communities(const ScenarioSpec& spec,
                                             const core::DetectionParams& detection,
                                             double warmup_s);
+
+/// Generic warm-up detection over ANY valid spec (what
+/// `communities.source = detected` executes): builds the spec's world with
+/// routing-free contact-logger routers — same map, movement, and per-node
+/// seed streams as the real run — runs it for `warmup_s` simulated seconds,
+/// and detects communities from the pairwise contact counts. Deterministic
+/// in (spec, seed); independent of runner reuse and thread count.
+core::CommunityTable detect_spec_communities(const ScenarioSpec& spec,
+                                             const core::DetectionParams& detection,
+                                             double warmup_s);
 
 }  // namespace dtn::harness

@@ -1,6 +1,8 @@
 #include "harness/spec.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -44,7 +46,7 @@ void bus_assign_communities(const GroupBuildContext& ctx, const GroupSpec& group
 }
 
 void bus_add_nodes(sim::World& world, const GroupBuildContext& ctx,
-                   const GroupSpec& group, const routing::ProtocolConfig& protocol) {
+                   const GroupSpec& group) {
   if (ctx.map.routes.empty()) {
     build_error(group, "model 'bus' requires a map with routes (map.kind = downtown)");
   }
@@ -52,8 +54,7 @@ void bus_add_nodes(sim::World& world, const GroupBuildContext& ctx,
     const std::size_t route_idx = static_cast<std::size_t>(v) % ctx.map.routes.size();
     // Spec-form add_node: the bus lane takes the route + params directly,
     // no per-node heap movement object.
-    world.add_node(ctx.map.routes[route_idx], group.params.bus,
-                   routing::create_router(protocol));
+    world.add_node(ctx.map.routes[route_idx], group.params.bus, ctx.make_router());
   }
 }
 
@@ -65,8 +66,7 @@ void bus_add_nodes(sim::World& world, const GroupBuildContext& ctx,
 // an open-field map.
 
 void community_add_nodes(sim::World& world, const GroupBuildContext& ctx,
-                         const GroupSpec& group,
-                         const routing::ProtocolConfig& protocol) {
+                         const GroupSpec& group) {
   const int l = community_classes(ctx.spec);
   const double band =
       (ctx.map.world_max.x - ctx.map.world_min.x) / static_cast<double>(l);
@@ -77,7 +77,7 @@ void community_add_nodes(sim::World& world, const GroupBuildContext& ctx,
     mp.world_max = ctx.map.world_max;
     mp.home_min = {ctx.map.world_min.x + band * c, ctx.map.world_min.y};
     mp.home_max = {ctx.map.world_min.x + band * (c + 1), ctx.map.world_max.y};
-    world.add_node(mp, routing::create_router(protocol));
+    world.add_node(mp, ctx.make_router());
   }
 }
 
@@ -86,13 +86,72 @@ void community_add_nodes(sim::World& world, const GroupBuildContext& ctx,
 // communities round-robin (the model has no structure to derive them from).
 
 void waypoint_add_nodes(sim::World& world, const GroupBuildContext& ctx,
-                        const GroupSpec& group,
-                        const routing::ProtocolConfig& protocol) {
+                        const GroupSpec& group) {
   for (int v = 0; v < group.count; ++v) {
     mobility::RandomWaypointParams mp = group.params.waypoint;
     mp.world_min = ctx.map.world_min;
     mp.world_max = ctx.map.world_max;
-    world.add_node(mp, routing::create_router(protocol));
+    world.add_node(mp, ctx.make_router());
+  }
+}
+
+// ---- stationary -------------------------------------------------------------
+// Infrastructure relays: fixed nodes over the map extent. `grid` placement
+// is deterministic (row-major on a near-square grid inset by `margin`), so
+// the same spec puts relays in the same spots at every seed; `uniform`
+// placement draws each node's position from its own movement stream at
+// init, so positions vary per seed like every other model's trajectories.
+// Stationary nodes cost nothing in the movement step loop (dedicated
+// engine lane that step_all never visits).
+
+void stationary_validate(const GroupSpec& group) {
+  const std::string& placement = group.params.stationary.placement;
+  // The parser vets this per key (stationary_set), but a programmatic spec
+  // skips the parser; without this check a typo would silently run as grid
+  // and then serialize into a config load_spec rejects.
+  if (placement != "grid" && placement != "uniform") {
+    build_error(group, "stationary placement must be 'grid' or 'uniform' (got '" +
+                           placement + "')");
+  }
+  // An oversized margin collapses to the extent's center line by design,
+  // but a negative one is a sign slip that would silently clamp to 0.
+  if (group.params.stationary.margin < 0.0) {
+    build_error(group, "stationary margin must be >= 0");
+  }
+}
+
+void stationary_add_nodes(sim::World& world, const GroupBuildContext& ctx,
+                          const GroupSpec& group) {
+  const mobility::StationaryParams& p = group.params.stationary;
+  geo::Vec2 lo = ctx.map.world_min;
+  geo::Vec2 hi = ctx.map.world_max;
+  // Inset by the margin where the extent allows it; a margin that would
+  // invert the rectangle collapses to the extent's center line instead.
+  const double inset_x = std::clamp(p.margin, 0.0, (hi.x - lo.x) / 2.0);
+  const double inset_y = std::clamp(p.margin, 0.0, (hi.y - lo.y) / 2.0);
+  lo.x += inset_x;
+  hi.x -= inset_x;
+  lo.y += inset_y;
+  hi.y -= inset_y;
+  if (p.placement == "uniform") {
+    mobility::StationaryNodeSpec spec;
+    spec.uniform = true;
+    spec.area_min = lo;
+    spec.area_max = hi;
+    for (int v = 0; v < group.count; ++v) world.add_node(spec, ctx.make_router());
+    return;
+  }
+  // grid: row-major over a near-square cols x rows layout, cell centers.
+  const int cols = std::max(1, static_cast<int>(std::ceil(
+                                   std::sqrt(static_cast<double>(group.count)))));
+  const int rows = std::max(1, (group.count + cols - 1) / cols);
+  for (int v = 0; v < group.count; ++v) {
+    const int col = v % cols;
+    const int row = v / cols;
+    mobility::StationaryNodeSpec spec;
+    spec.pos = {lo.x + (hi.x - lo.x) * ((col + 0.5) / cols),
+                lo.y + (hi.y - lo.y) * ((row + 0.5) / rows)};
+    world.add_node(spec, ctx.make_router());
   }
 }
 
@@ -100,7 +159,7 @@ void waypoint_add_nodes(sim::World& world, const GroupBuildContext& ctx,
 // Node v (group-local) replays trace node v from the map's trace source.
 
 void trace_add_nodes(sim::World& world, const GroupBuildContext& ctx,
-                     const GroupSpec& group, const routing::ProtocolConfig& protocol) {
+                     const GroupSpec& group) {
   if (!ctx.map.trace) {
     build_error(group, "model 'trace' requires map.kind = trace");
   }
@@ -110,8 +169,7 @@ void trace_add_nodes(sim::World& world, const GroupBuildContext& ctx,
                            " nodes, group wants " + std::to_string(group.count));
   }
   for (int v = 0; v < group.count; ++v) {
-    world.add_node(std::move(models[static_cast<std::size_t>(v)]),
-                   routing::create_router(protocol));
+    world.add_node(std::move(models[static_cast<std::size_t>(v)]), ctx.make_router());
   }
 }
 
@@ -125,6 +183,8 @@ std::vector<GroupBuilder>& registry() {
        /*needs_routes=*/false, /*needs_trace=*/false},
       {"trace", round_robin_communities, trace_add_nodes,
        /*needs_routes=*/false, /*needs_trace=*/true},
+      {"stationary", round_robin_communities, stationary_add_nodes,
+       /*needs_routes=*/false, /*needs_trace=*/false, stationary_validate},
   };
   return builders;
 }
@@ -135,6 +195,26 @@ void round_robin_communities(const GroupBuildContext& ctx, const GroupSpec& grou
                              std::vector<int>& cid) {
   const int l = community_classes(ctx.spec);
   for (int v = 0; v < group.count; ++v) cid.push_back(v % l);
+}
+
+std::vector<std::string> community_source_names() {
+  return {"auto", "round_robin", "detected"};
+}
+
+std::string community_source_list() {
+  std::string joined;
+  for (const auto& s : community_source_names()) {
+    if (!joined.empty()) joined += " | ";
+    joined += s;
+  }
+  return joined;
+}
+
+routing::ProtocolConfig resolved_protocol(const ScenarioSpec& spec,
+                                          const GroupSpec& group) {
+  routing::ProtocolConfig protocol = spec.protocol;
+  if (!group.protocol.empty()) protocol.name = group.protocol;
+  return protocol;
 }
 
 const GroupBuilder* find_group_builder(const std::string& model) {
@@ -165,8 +245,15 @@ void validate_spec(const ScenarioSpec& spec) {
   if (map_kind == nullptr) {
     throw std::invalid_argument("unknown map kind '" + spec.map.kind + "'");
   }
-  if (spec.communities.source != "auto" && spec.communities.source != "round_robin") {
-    throw std::invalid_argument("communities.source must be 'auto' or 'round_robin'");
+  const std::vector<std::string> sources = community_source_names();
+  if (std::find(sources.begin(), sources.end(), spec.communities.source) ==
+      sources.end()) {
+    throw std::invalid_argument("communities.source must be one of: " +
+                                community_source_list());
+  }
+  if (spec.communities.source == "detected" && !(spec.communities.warmup_s > 0.0)) {
+    throw std::invalid_argument(
+        "communities.source = detected requires communities.warmup > 0");
   }
   for (std::size_t i = 0; i < spec.groups.size(); ++i) {
     const GroupSpec& g = spec.groups[i];
@@ -201,6 +288,11 @@ void validate_spec(const ScenarioSpec& spec) {
       throw std::invalid_argument("group '" + g.name + "': model '" + g.model +
                                   "' requires map.kind = trace (map.kind = " +
                                   spec.map.kind + ")");
+    }
+    if (builder->validate != nullptr) builder->validate(g);
+    if (!g.protocol.empty() && !routing::is_known_protocol(g.protocol)) {
+      throw std::invalid_argument("group '" + g.name + "': unknown protocol '" +
+                                  g.protocol + "'");
     }
     for (std::size_t j = i + 1; j < spec.groups.size(); ++j) {
       if (spec.groups[j].name == g.name) {

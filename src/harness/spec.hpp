@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +47,11 @@ struct GroupSpec {
   std::string name = "nodes";  ///< key segment: group.<name>.<param>
   std::string model = "bus";   ///< mobility registry key
   int count = 0;
+  /// Per-group router override (`group.<name>.protocol`): when non-empty,
+  /// this group's nodes run the named protocol instead of the spec-wide
+  /// `protocol.name` (heterogeneous routing in one world). The shared knobs
+  /// (copies / alpha / window / communities) stay spec-wide.
+  std::string protocol;
   mobility::GroupParams params;
 };
 
@@ -62,11 +68,25 @@ struct MapSpec {
 ///                 district, community groups take their home band, other
 ///                 models round-robin over `count`;
 ///   round_robin — community_of(v) = group-local index % count for every
-///                 group.
+///                 group;
+///   detected    — run a routing-free warm-up pass of THIS spec's world
+///                 (same map, movement, seed) for `warmup_s` simulated
+///                 seconds, collect pairwise contact counts, and detect
+///                 communities from them (core::detect_communities) — the
+///                 paper's distributed-construction future work, spec-driven.
 struct CommunitySpec {
   std::string source = "auto";
   int count = 4;  ///< bands / round-robin classes (also community-group tiling)
+  double warmup_s = 1000.0;  ///< detected: warm-up sim seconds
 };
+
+/// The valid `communities.source` vocabulary, in documentation order. The
+/// conformance matrix walks this instead of a hand-written list.
+std::vector<std::string> community_source_names();
+
+/// The same vocabulary as one "a | b | c" string — shared by validate_spec
+/// and the parser's bad-value diagnostic so the two messages cannot drift.
+std::string community_source_list();
 
 struct ScenarioSpec {
   std::string name = "scenario";
@@ -102,6 +122,13 @@ struct GroupBuildContext {
   const ScenarioSpec& spec;
   const geo::BuiltMap& map;
   int first_node = 0;  ///< global index of the group's first node
+  /// Builds one router for this group's nodes. Installed by the scenario
+  /// layer: normally routing::create_router over the group's resolved
+  /// protocol (per-group override applied), but the detected-communities
+  /// warm-up substitutes a routing-free contact logger — group builders
+  /// MUST obtain routers through this hook, never from the factory
+  /// directly. Null only in assign_communities contexts.
+  std::function<std::unique_ptr<sim::Router>()> make_router;
 };
 
 struct GroupBuilder {
@@ -111,14 +138,20 @@ struct GroupBuilder {
   void (*assign_communities)(const GroupBuildContext& ctx, const GroupSpec& group,
                              std::vector<int>& cid);
   /// Adds the group's nodes to `world`, one router per node from
-  /// `protocol`. Must add exactly group.count nodes in group-local order.
+  /// `ctx.make_router()`. Must add exactly group.count nodes in group-local
+  /// order.
   void (*add_nodes)(sim::World& world, const GroupBuildContext& ctx,
-                    const GroupSpec& group, const routing::ProtocolConfig& protocol);
+                    const GroupSpec& group);
   /// Map capabilities this model requires (checked against
   /// geo::MapKindInfo::provides_* in validate_spec, so `dtnsim check`
   /// rejects what run would reject).
   bool needs_routes = false;
   bool needs_trace = false;
+  /// Optional model-specific parameter check, called by validate_spec.
+  /// Programmatic specs bypass the parser's per-key vetting, so anything
+  /// add_nodes would silently misinterpret (e.g. an enum-like string)
+  /// must throw here instead. Null = nothing beyond the key vocabulary.
+  void (*validate)(const GroupSpec& group) = nullptr;
 };
 
 const GroupBuilder* find_group_builder(const std::string& model);
@@ -131,8 +164,14 @@ void register_group_builder(const GroupBuilder& builder);
 void round_robin_communities(const GroupBuildContext& ctx, const GroupSpec& group,
                              std::vector<int>& cid);
 
+/// The group's effective protocol config: the spec-wide block with the
+/// per-group name override applied (shared knobs stay spec-wide).
+routing::ProtocolConfig resolved_protocol(const ScenarioSpec& spec,
+                                          const GroupSpec& group);
+
 /// Validates spec consistency beyond per-key parsing (at least one group,
-/// known model/map/protocol names, model/map compatibility). Throws
+/// known model/map/protocol names incl. per-group overrides, model/map
+/// compatibility, communities source vocabulary). Throws
 /// std::invalid_argument with an explanatory message.
 void validate_spec(const ScenarioSpec& spec);
 

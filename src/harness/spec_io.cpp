@@ -35,43 +35,10 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   return row[b.size()];
 }
 
-/// Every currently-valid full key of `spec` (used for suggestions).
-std::vector<std::string> known_keys(const ScenarioSpec& spec) {
-  std::vector<std::string> keys{
-      "scenario.name",       "scenario.duration", "scenario.seed",
-      "scenario.full_ttl_window", "scenario.nodes",
-      "map.kind",
-      "world.step_dt",       "world.radio_range", "world.bitrate_bps",
-      "world.buffer_bytes",  "world.ttl_sweep_interval",
-      "world.legacy_contact_path", "world.legacy_buffer_path",
-      "world.legacy_movement_path", "world.legacy_pair_sweep",
-      "traffic.interval_min", "traffic.interval_max", "traffic.start",
-      "traffic.stop",        "traffic.size_bytes", "traffic.ttl",
-      "protocol.name",       "protocol.copies",   "protocol.alpha",
-      "protocol.window",
-      "communities.source",  "communities.count"};
-  std::vector<std::pair<std::string, std::string>> kv;
-  if (const auto* kind = geo::find_map_kind(spec.map.kind)) {
-    kv.clear();
-    kind->emit(spec.map.params, kv);
-    for (const auto& [k, v] : kv) keys.push_back("map." + k);
-  }
-  for (const auto& g : spec.groups) {
-    keys.push_back("group." + g.name + ".model");
-    keys.push_back("group." + g.name + ".count");
-    if (const auto* model = mobility::find_mobility_model(g.model)) {
-      kv.clear();
-      model->emit(g.params, kv);
-      for (const auto& [k, v] : kv) keys.push_back("group." + g.name + "." + k);
-    }
-  }
-  return keys;
-}
-
 std::string suggestion_for(const ScenarioSpec& spec, const std::string& key) {
   std::string best;
   std::size_t best_dist = 3;  // suggest only close misses
-  for (const auto& candidate : known_keys(spec)) {
+  for (const auto& candidate : spec_key_names(spec)) {
     const std::size_t d = edit_distance(key, candidate);
     if (d < best_dist) {
       best_dist = d;
@@ -206,13 +173,18 @@ std::string protocol_key(ScenarioSpec& spec, const std::string& key,
 std::string communities_key(ScenarioSpec& spec, const std::string& key,
                             const std::string& value) {
   if (key == "source") {
-    if (value != "auto" && value != "round_robin") {
-      return "bad value '" + value + "' for communities.source (auto | round_robin)";
+    const std::vector<std::string> sources = community_source_names();
+    if (std::find(sources.begin(), sources.end(), value) == sources.end()) {
+      return "bad value '" + value + "' for communities.source (" +
+             community_source_list() + ")";
     }
     spec.communities.source = value;
     return "";
   }
   if (key == "count") return set_num(spec.communities.count, "communities.count", value);
+  if (key == "warmup") {
+    return set_num(spec.communities.warmup_s, "communities.warmup", value);
+  }
   return std::string("__unknown__");
 }
 
@@ -260,6 +232,13 @@ std::string group_key(ScenarioSpec& spec, const std::string& rest,
   if (param == "count") {
     return set_num(group->count, "group." + name + ".count", value);
   }
+  if (param == "protocol") {
+    // Accepted verbatim like protocol.name (custom routers may register
+    // after parsing); validate_spec rejects unknown names at run. An empty
+    // value clears the override (the group inherits protocol.name again).
+    group->protocol = value;
+    return "";
+  }
   const auto* model = mobility::find_mobility_model(group->model);
   if (model == nullptr) {
     return "group '" + name + "' has unknown model '" + group->model + "'";
@@ -274,7 +253,7 @@ std::string group_key(ScenarioSpec& spec, const std::string& rest,
   }
   std::vector<std::pair<std::string, std::string>> kv;
   model->emit(group->params, kv);
-  std::vector<std::string> names{"model", "count"};
+  std::vector<std::string> names{"model", "count", "protocol"};
   for (const auto& [k, v] : kv) names.push_back(k);
   return "unknown key 'group." + name + "." + param + "' for mobility model '" +
          group->model + "' (known: " + join_names(names) + ")";
@@ -353,6 +332,39 @@ bool parse_into(const std::string& text, ScenarioSpec& spec,
 }
 
 }  // namespace
+
+std::vector<std::string> spec_key_names(const ScenarioSpec& spec) {
+  std::vector<std::string> keys{
+      "scenario.name",       "scenario.duration", "scenario.seed",
+      "scenario.full_ttl_window", "scenario.nodes",
+      "map.kind",
+      "world.step_dt",       "world.radio_range", "world.bitrate_bps",
+      "world.buffer_bytes",  "world.ttl_sweep_interval",
+      "world.legacy_contact_path", "world.legacy_buffer_path",
+      "world.legacy_movement_path", "world.legacy_pair_sweep",
+      "traffic.interval_min", "traffic.interval_max", "traffic.start",
+      "traffic.stop",        "traffic.size_bytes", "traffic.ttl",
+      "protocol.name",       "protocol.copies",   "protocol.alpha",
+      "protocol.window",
+      "communities.source",  "communities.count", "communities.warmup"};
+  std::vector<std::pair<std::string, std::string>> kv;
+  if (const auto* kind = geo::find_map_kind(spec.map.kind)) {
+    kv.clear();
+    kind->emit(spec.map.params, kv);
+    for (const auto& [k, v] : kv) keys.push_back("map." + k);
+  }
+  for (const auto& g : spec.groups) {
+    keys.push_back("group." + g.name + ".model");
+    keys.push_back("group." + g.name + ".count");
+    keys.push_back("group." + g.name + ".protocol");
+    if (const auto* model = mobility::find_mobility_model(g.model)) {
+      kv.clear();
+      model->emit(g.params, kv);
+      for (const auto& [k, v] : kv) keys.push_back("group." + g.name + "." + k);
+    }
+  }
+  return keys;
+}
 
 SpecError::SpecError(std::vector<SpecDiagnostic> diagnostics, const std::string& context)
     : std::runtime_error(diagnostics_text(diagnostics, context)),
@@ -434,10 +446,17 @@ std::string to_config(const ScenarioSpec& spec) {
 
   out << "\ncommunities.source = " << spec.communities.source << "\n";
   out << "communities.count = " << util::format_value(spec.communities.count) << "\n";
+  out << "communities.warmup = " << util::format_value(spec.communities.warmup_s)
+      << "\n";
 
   for (const auto& g : spec.groups) {
     out << "\ngroup." << g.name << ".model = " << g.model << "\n";
     out << "group." << g.name << ".count = " << util::format_value(g.count) << "\n";
+    // Inherit-from-protocol.name is the empty string; emitted only when an
+    // override is engaged, so homogeneous configs stay unchanged.
+    if (!g.protocol.empty()) {
+      out << "group." << g.name << ".protocol = " << g.protocol << "\n";
+    }
     if (const auto* model = mobility::find_mobility_model(g.model)) {
       kv.clear();
       model->emit(g.params, kv);

@@ -84,4 +84,12 @@ ScenarioSpec load_spec_with_overrides(const std::string& path,
 /// Splits "key=value" (first '='); throws SpecError when '=' is missing.
 std::pair<std::string, std::string> split_assignment(const std::string& text);
 
+/// Every full key currently addressable on `spec` — the scalar section
+/// vocabulary plus the registry-driven `map.*` / `group.<name>.*` keys of
+/// the spec's map kind and group models. This is the list behind the
+/// parser's nearest-key suggestions; the override property test walks it so
+/// new keys are covered the moment they are registered. (`scenario.nodes`
+/// is a write-only alias and never serialized.)
+std::vector<std::string> spec_key_names(const ScenarioSpec& spec);
+
 }  // namespace dtn::harness

@@ -1,6 +1,8 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <future>
 #include <map>
 #include <mutex>
@@ -310,6 +312,94 @@ util::TablePrinter metric_table(const std::vector<PointResult>& results,
     }
   }
   return table;
+}
+
+namespace {
+
+/// Minimal JSON string escaping for keys/values (quotes, backslashes,
+/// control characters — the only things a spec key or value can smuggle in).
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+/// Shortest-round-trip number, or null for non-finite values (JSON has no
+/// NaN/inf literals).
+std::string json_number(double v) {
+  return std::isfinite(v) ? util::format_value(v) : std::string("null");
+}
+
+void append_stat(std::string& out, const char* name, const util::StatAccumulator& s) {
+  out += json_string(name);
+  out += ": {\"mean\": " + json_number(s.mean()) +
+         ", \"stddev\": " + json_number(s.stddev()) +
+         ", \"count\": " + std::to_string(s.count()) + "}";
+}
+
+}  // namespace
+
+std::string sweep_results_json(const SpecSweepOptions& options,
+                               const std::vector<SpecPointResult>& results) {
+  std::string out = "{\n  \"schema\": \"dtnsim-sweep/1\",\n";
+  out += "  \"scenario\": " + json_string(options.base.name) + ",\n";
+  out += "  \"seeds\": " + std::to_string(options.seeds) + ",\n";
+  out += "  \"seed_base\": " + util::format_value(options.seed_base) + ",\n";
+  out += "  \"axes\": [";
+  for (std::size_t a = 0; a < options.axes.size(); ++a) {
+    if (a != 0) out += ", ";
+    out += "{\"key\": " + json_string(options.axes[a].key) + ", \"values\": [";
+    for (std::size_t v = 0; v < options.axes[a].values.size(); ++v) {
+      if (v != 0) out += ", ";
+      out += json_string(options.axes[a].values[v]);
+    }
+    out += "]}";
+  }
+  out += "],\n  \"points\": [\n";
+  for (std::size_t p = 0; p < results.size(); ++p) {
+    const SpecPointResult& point = results[p];
+    out += "    {\"overrides\": {";
+    for (std::size_t o = 0; o < point.overrides.size(); ++o) {
+      if (o != 0) out += ", ";
+      out += json_string(point.overrides[o].first) + ": " +
+             json_string(point.overrides[o].second);
+    }
+    out += "},\n     \"protocol\": " + json_string(point.result.protocol) +
+           ", \"nodes\": " + std::to_string(point.result.node_count) +
+           ",\n     \"metrics\": {";
+    append_stat(out, "delivery_ratio", point.result.delivery_ratio);
+    out += ", ";
+    append_stat(out, "latency_s", point.result.latency);
+    out += ", ";
+    append_stat(out, "goodput", point.result.goodput);
+    out += ", ";
+    append_stat(out, "control_MB", point.result.control_mb);
+    out += ", ";
+    append_stat(out, "relayed", point.result.relayed);
+    out += ", ";
+    append_stat(out, "contacts", point.result.contacts);
+    out += "}}";
+    out += p + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
 }
 
 util::TablePrinter sweep_table(const std::vector<SpecPointResult>& results,

@@ -119,6 +119,26 @@ util::TablePrinter metric_table(const std::vector<PointResult>& results,
 util::TablePrinter sweep_table(const std::vector<SpecPointResult>& results,
                                int precision = 4);
 
+/// Machine-readable sweep results (`dtnsim sweep --out results.json`).
+/// Stable schema "dtnsim-sweep/1":
+///   {
+///     "schema": "dtnsim-sweep/1",
+///     "scenario": <base spec name>,
+///     "seeds": <per-point repetitions>, "seed_base": <first seed>,
+///     "axes": [{"key": ..., "values": [...]}, ...],
+///     "points": [{
+///       "overrides": {<axis key>: <value>, ...},
+///       "protocol": ..., "nodes": ...,
+///       "metrics": {<name>: {"mean": ..., "stddev": ..., "count": ...}, ...}
+///     }, ...]
+///   }
+/// Metric names: delivery_ratio, latency_s, goodput, control_MB, relayed,
+/// contacts. Numbers use shortest-round-trip formatting (non-finite values
+/// serialize as null); points appear in axis cross-product order. Additive
+/// schema evolution only — existing fields keep their meaning.
+std::string sweep_results_json(const SpecSweepOptions& options,
+                               const std::vector<SpecPointResult>& results);
+
 /// Column label used in output for a metric.
 std::string metric_name(Metric metric);
 

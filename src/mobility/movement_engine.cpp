@@ -85,6 +85,15 @@ int MovementEngine::add_bus(std::shared_ptr<const geo::Polyline> route,
   return node;
 }
 
+int MovementEngine::add_stationary(const StationaryNodeSpec& spec) {
+  const int node = static_cast<int>(pos_.size());
+  pos_.push_back(spec.pos);
+  kind_.push_back(Kind::kStationary);
+  lane_.push_back(static_cast<std::uint32_t>(st_spec_.size()));
+  st_spec_.push_back(spec);
+  return node;
+}
+
 int MovementEngine::add_custom(MovementModelPtr model) {
   const int node = static_cast<int>(pos_.size());
   pos_.emplace_back();
@@ -104,6 +113,14 @@ int MovementEngine::add(MovementModelPtr model) {
   }
   if (const auto* bus = dynamic_cast<const BusMovement*>(model.get())) {
     return add_bus(bus->route(), bus->params());
+  }
+  if (const auto* st = dynamic_cast<const StationaryNode*>(model.get())) {
+    return add_stationary(st->spec());
+  }
+  if (const auto* pin = dynamic_cast<const Stationary*>(model.get())) {
+    StationaryNodeSpec spec;
+    spec.pos = pin->position();
+    return add_stationary(spec);
   }
   return add_custom(std::move(model));
 }
@@ -127,6 +144,7 @@ void MovementEngine::clear() {
   bus_pause_until_.clear();
   bus_seg_hint_.clear();
   bus_rng_.clear();
+  st_spec_.clear();
   cust_node_.clear();
   cust_model_.clear();
 }
@@ -209,6 +227,20 @@ void MovementEngine::init_node(int node, util::Pcg32 rng, double start_time) {
       bus_rng_[lane] = rng;
       init_bus(lane, node, start_time);
       break;
+    case Kind::kStationary: {
+      // Same draw block as StationaryNode::init (legacy path): two
+      // uniforms (x, y) for per-seed placement, no draws for fixed.
+      const StationaryNodeSpec& sp = st_spec_[lane];
+      if (sp.uniform) {
+        double u[2];
+        rng.fill_doubles(u, 2);
+        pos_[i] = {map_uniform(sp.area_min.x, sp.area_max.x, u[0]),
+                   map_uniform(sp.area_min.y, sp.area_max.y, u[1])};
+      } else {
+        pos_[i] = sp.pos;
+      }
+      break;
+    }
     case Kind::kCustom:
       cust_model_[lane]->init(rng, start_time);
       pos_[i] = cust_model_[lane]->position();

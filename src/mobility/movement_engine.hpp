@@ -9,9 +9,12 @@
 // model objects, and all positions land in one contiguous array the
 // contact detector reads back. Waypoint/stop events pull their whole
 // random block (pause, target, speed) from the node's stream in a single
-// batched fill_doubles() call. Any other MovementModel (trace playback,
-// stationary, test scripts, user models) runs unchanged in a fallback lane
-// that keeps the object and calls its virtual step().
+// batched fill_doubles() call. Stationary infrastructure nodes get a
+// zero-cost lane: their position is written once at init (fixed, or drawn
+// per seed for uniform placement) and step_all() never visits them. Any
+// other MovementModel (trace playback, test scripts, user models) runs
+// unchanged in a fallback lane that keeps the object and calls its
+// virtual step().
 //
 // Equivalence contract: for the three lane models the kernel performs the
 // exact arithmetic of the legacy classes (mobility/random_waypoint.cpp,
@@ -34,6 +37,7 @@
 #include "mobility/community_movement.hpp"
 #include "mobility/movement_model.hpp"
 #include "mobility/random_waypoint.hpp"
+#include "mobility/stationary.hpp"
 #include "util/rng.hpp"
 
 namespace dtn::mobility {
@@ -44,11 +48,15 @@ class MovementEngine {
   int add_waypoint(const RandomWaypointParams& params);
   int add_community(const CommunityMovementParams& params);
   int add_bus(std::shared_ptr<const geo::Polyline> route, const BusParams& params);
+  /// Zero-cost lane for infrastructure nodes: position set at init (fixed,
+  /// or drawn per seed for uniform placement), never stepped.
+  int add_stationary(const StationaryNodeSpec& spec);
   /// Fallback lane: keeps the model object, steps it virtually.
   int add_custom(MovementModelPtr model);
   /// Routes known model types (RandomWaypoint / CommunityMovement /
-  /// BusMovement) into their lanes, extracting their parameters and
-  /// discarding the object; anything else goes to the custom lane.
+  /// BusMovement / StationaryNode / Stationary) into their lanes,
+  /// extracting their parameters and discarding the object; anything else
+  /// goes to the custom lane.
   int add(MovementModelPtr model);
 
   /// (Re)initializes node `node`'s trajectory from its movement stream at
@@ -74,7 +82,7 @@ class MovementEngine {
   void clear();
 
  private:
-  enum class Kind : std::uint8_t { kWaypoint, kCommunity, kBus, kCustom };
+  enum class Kind : std::uint8_t { kWaypoint, kCommunity, kBus, kStationary, kCustom };
 
   /// Shared waypoint-lane parameters. `community == true` adds the
   /// home-rectangle Bernoulli pick (CommunityMovement); otherwise the home
@@ -128,6 +136,9 @@ class MovementEngine {
   std::vector<double> bus_pause_until_;
   std::vector<std::uint32_t> bus_seg_hint_;  ///< point_at_hinted() cache
   std::vector<util::Pcg32> bus_rng_;
+
+  // ---- stationary lane (never stepped) ----
+  std::vector<StationaryNodeSpec> st_spec_;
 
   // ---- custom lane ----
   std::vector<std::int32_t> cust_node_;

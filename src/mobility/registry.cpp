@@ -64,6 +64,28 @@ void bus_emit(const GroupParams& p,
   out.emplace_back("pause_max", util::format_value(p.bus.pause_max));
 }
 
+// ---- stationary -------------------------------------------------------------
+// Infrastructure nodes (relays, roadside units): placement over the map
+// extent is the whole vocabulary — `grid` is deterministic row-major,
+// `uniform` draws per seed from the node's movement stream.
+
+KvResult stationary_set(GroupParams& p, const std::string& key,
+                        const std::string& value) {
+  if (key == "placement") {
+    if (value != "grid" && value != "uniform") return KvResult::kBadValue;
+    p.stationary.placement = value;
+    return KvResult::kOk;
+  }
+  if (key == "margin") return util::kv_set(p.stationary.margin, value);
+  return KvResult::kUnknownKey;
+}
+
+void stationary_emit(const GroupParams& p,
+                     std::vector<std::pair<std::string, std::string>>& out) {
+  out.emplace_back("placement", p.stationary.placement);
+  out.emplace_back("margin", util::format_value(p.stationary.margin));
+}
+
 // ---- trace ------------------------------------------------------------------
 // Trajectories come from the map source (map.kind = trace); the group has no
 // parameters of its own.
@@ -80,6 +102,7 @@ std::vector<MobilityModelInfo>& registry() {
       {"random_waypoint", waypoint_set, waypoint_emit},
       {"community", community_set, community_emit},
       {"trace", trace_set, trace_emit},
+      {"stationary", stationary_set, stationary_emit},
   };
   return models;
 }

@@ -13,6 +13,7 @@
 #include "mobility/bus_movement.hpp"
 #include "mobility/community_movement.hpp"
 #include "mobility/random_waypoint.hpp"
+#include "mobility/stationary.hpp"
 #include "util/value_parse.hpp"
 
 namespace dtn::mobility {
@@ -27,6 +28,7 @@ struct GroupParams {
   RandomWaypointParams waypoint;
   CommunityMovementParams community;
   BusParams bus;
+  StationaryParams stationary;
 };
 
 /// One registered mobility model.

@@ -1,0 +1,72 @@
+// Stationary infrastructure nodes (relays, roadside units, throwboxes): a
+// node that never moves. The GROUP vocabulary (StationaryParams) describes
+// how a whole group of such nodes is placed on the map — a deterministic
+// grid or a per-seed uniform draw — while StationaryNodeSpec is the
+// resolved per-node placement the engine executes. Stationary nodes cost
+// nothing in the movement step loop: the MovementEngine gives them a
+// dedicated lane that step_all() never visits (their position is written
+// once at init and on reseed).
+#pragma once
+
+#include <string>
+
+#include "geo/vec2.hpp"
+#include "mobility/movement_model.hpp"
+
+namespace dtn::mobility {
+
+/// Group-level placement vocabulary (`group.<g>.*` keys for
+/// `model = stationary`).
+///   placement = grid    — the group's nodes are laid out row-major on a
+///                         near-square grid over the map extent (inset by
+///                         `margin`), deterministically: the same spec
+///                         places the same nodes at every seed;
+///   placement = uniform — each node draws its position uniformly from the
+///                         inset extent out of its own movement stream, so
+///                         positions vary per seed like every other model's
+///                         trajectories.
+struct StationaryParams {
+  std::string placement = "grid";  ///< grid | uniform
+  double margin = 0.0;             ///< inset from the map edges (m)
+};
+
+/// Resolved placement of ONE stationary node (what World::add_node and the
+/// engine's stationary lane consume). For grid placement `pos` is final;
+/// for uniform placement the position is drawn from the node's movement
+/// stream at init (and re-drawn on every reseed) inside [area_min, area_max].
+struct StationaryNodeSpec {
+  geo::Vec2 pos{0.0, 0.0};
+  bool uniform = false;
+  geo::Vec2 area_min{0.0, 0.0};
+  geo::Vec2 area_max{0.0, 0.0};
+};
+
+/// Legacy-path model form (WorldConfig::legacy_movement_path A/B): same
+/// draw block as the engine's stationary lane — two uniforms (x, y) when
+/// placement is per-seed uniform, no draws otherwise — so trajectories are
+/// bit-identical between the lane and the per-object path.
+class StationaryNode final : public MovementModel {
+ public:
+  explicit StationaryNode(const StationaryNodeSpec& spec) : spec_(spec), pos_(spec.pos) {}
+
+  void init(util::Pcg32 rng, double /*start_time*/) override {
+    if (spec_.uniform) {
+      const double x = rng.uniform(spec_.area_min.x, spec_.area_max.x);
+      const double y = rng.uniform(spec_.area_min.y, spec_.area_max.y);
+      pos_ = {x, y};
+    } else {
+      pos_ = spec_.pos;
+    }
+  }
+  void step(double /*now*/, double /*dt*/) override {}
+  [[nodiscard]] geo::Vec2 position() const override { return pos_; }
+
+  /// Placement block (MovementEngine extracts it into the stationary lane).
+  [[nodiscard]] const StationaryNodeSpec& spec() const noexcept { return spec_; }
+
+ private:
+  StationaryNodeSpec spec_;
+  geo::Vec2 pos_;
+};
+
+}  // namespace dtn::mobility

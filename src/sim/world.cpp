@@ -52,6 +52,15 @@ NodeIdx World::add_node(std::shared_ptr<const geo::Polyline> route,
   return add_node_common(engine_node, std::move(router));
 }
 
+NodeIdx World::add_node(const mobility::StationaryNodeSpec& movement,
+                        std::unique_ptr<Router> router) {
+  const int engine_node =
+      config_.legacy_movement_path
+          ? engine_.add_custom(std::make_unique<mobility::StationaryNode>(movement))
+          : engine_.add_stationary(movement);
+  return add_node_common(engine_node, std::move(router));
+}
+
 NodeIdx World::add_node_common(int engine_node, std::unique_ptr<Router> router) {
   assert(!started_ && "nodes must be added before run()");
   const auto idx = static_cast<NodeIdx>(engine_node);
@@ -137,6 +146,9 @@ void World::reset(const WorldConfig& config) {
     grid_.reset();
   }
   clear_sim_state();
+  // Unlike reseed(), the rebuilt scenario's group structure may differ, so
+  // the per-group metric buckets cannot survive a reset.
+  metrics_.clear_groups();
   engine_.clear();
   has_traffic_ = false;  // re-armed by the next set_traffic(), if any
   rebuilding_ = true;

@@ -108,6 +108,10 @@ class World {
                    std::unique_ptr<Router> router);
   NodeIdx add_node(std::shared_ptr<const geo::Polyline> route,
                    const mobility::BusParams& movement, std::unique_ptr<Router> router);
+  /// Stationary infrastructure node: position fixed (or drawn per seed for
+  /// uniform placement); zero movement-lane cost — step_all never visits it.
+  NodeIdx add_node(const mobility::StationaryNodeSpec& movement,
+                   std::unique_ptr<Router> router);
 
   /// Installs the network-wide traffic generator (optional; at most one).
   void set_traffic(const TrafficParams& params);

@@ -166,6 +166,22 @@ TEST(SpecDiagnostics, ValidateSpecCatchesStructuralProblems) {
     EXPECT_THROW(validate_spec(bad), std::invalid_argument) << bad_name;
   }
 
+  // Model-specific enum-like strings: the parser vets these per key, but a
+  // programmatic spec skips the parser — validation must still reject what
+  // add_nodes would silently misinterpret (and to_config would emit in a
+  // form load_spec refuses, breaking round-trip identity).
+  ScenarioSpec bad_placement;
+  apply_override(bad_placement, "group.relays.model", "stationary");
+  apply_override(bad_placement, "group.relays.count", "4");
+  bad_placement.groups[0].params.stationary.placement = "Uniform";
+  EXPECT_THROW(validate_spec(bad_placement), std::invalid_argument);
+
+  ScenarioSpec bad_margin;
+  apply_override(bad_margin, "group.relays.model", "stationary");
+  apply_override(bad_margin, "group.relays.count", "4");
+  apply_override(bad_margin, "group.relays.margin", "-150");
+  EXPECT_THROW(validate_spec(bad_margin), std::invalid_argument);
+
   ScenarioSpec ok = to_spec(BusScenarioParams{});
   EXPECT_NO_THROW(validate_spec(ok));
 }

@@ -4,14 +4,17 @@
 //   dtnsim run scenario.cfg [--set key=value]... [--seeds N]
 //   dtnsim sweep scenario.cfg --axis protocol.name=EER,CR \
 //                             --axis scenario.nodes=40,80 [--seeds N] [--threads T]
+//                             [--out results.json]
 //   dtnsim print scenario.cfg [--set key=value]...   # resolved canonical config
 //   dtnsim check scenario.cfg                        # parse + validate, report diagnostics
 //   dtnsim list                                      # registered protocols/models/maps
 //
 // `--set` applies single-key overrides after the file loads (repeatable,
 // applied in order); `--axis key=v1,v2,...` adds one sweep dimension per
-// flag (cross product, first axis outermost). Scenario-file grammar and
-// the key vocabulary live in harness/spec_io.hpp and README.md.
+// flag (cross product, first axis outermost); `--out` writes the sweep's
+// aggregated results as machine-readable JSON (stable "dtnsim-sweep/1"
+// schema, see harness/sweep.hpp). Scenario-file grammar and the key
+// vocabulary live in harness/spec_io.hpp and README.md.
 #include <cstdint>
 #include <cstdio>
 #include <exception>
@@ -35,6 +38,7 @@ int usage() {
                "                       [--threads T] [--quiet]\n"
                "  sweep <scenario.cfg> [--axis k=v1,v2,..]... [--set k=v]...\n"
                "                       [--seeds N] [--seed-base B] [--threads T] [--quiet]\n"
+               "                       [--out results.json]\n"
                "  print <scenario.cfg> [--set k=v]...\n"
                "  check <scenario.cfg>\n"
                "  list\n");
@@ -134,7 +138,8 @@ int cmd_run(const std::string& path, const util::Flags& flags) {
 }
 
 int cmd_sweep(const std::string& path, const util::Flags& flags) {
-  if (!check_flags(flags, {"set", "axis", "seeds", "seed-base", "threads", "quiet"})) {
+  if (!check_flags(flags,
+                   {"set", "axis", "seeds", "seed-base", "threads", "quiet", "out"})) {
     return usage();
   }
   harness::SpecSweepOptions options;
@@ -169,12 +174,48 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
       std::fprintf(stderr, "  done: %s\n", label.c_str());
     };
   }
+  // Open --out (via a sibling temp file) before the campaign runs: an
+  // unwritable path must fail in seconds, not after hours of simulation
+  // with the JSON discarded. The temp + rename keeps a pre-existing
+  // results file intact until the new one is complete — a typo'd axis key
+  // (which throws inside run_spec_sweep) or a short write (disk full)
+  // must not wipe the previous campaign's results.
+  const std::string out_path = flags.get_string("out", "");
+  const std::string tmp_path = out_path + ".tmp";
+  std::FILE* out_file = nullptr;
+  if (!out_path.empty()) {
+    out_file = std::fopen(tmp_path.c_str(), "w");
+    if (out_file == nullptr) {
+      std::fprintf(stderr, "dtnsim: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+  }
   std::size_t grid = 1;
   for (const auto& axis : options.axes) grid *= axis.values.size();
   std::printf("sweep '%s': %zu point(s) x %d seed(s)\n", options.base.name.c_str(),
               grid, options.seeds);
-  const auto results = harness::run_spec_sweep(options);
+  std::vector<harness::SpecPointResult> results;
+  try {
+    results = harness::run_spec_sweep(options);
+  } catch (...) {
+    if (out_file != nullptr) {
+      std::fclose(out_file);
+      std::remove(tmp_path.c_str());
+    }
+    throw;
+  }
   std::printf("\n%s", harness::sweep_table(results).to_string().c_str());
+  if (out_file != nullptr) {
+    const std::string json = harness::sweep_results_json(options, results);
+    const bool wrote = std::fputs(json.c_str(), out_file) != EOF;
+    const bool closed = std::fclose(out_file) == 0;
+    if (!wrote || !closed || std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+      std::fprintf(stderr, "dtnsim: error writing '%s'\n", out_path.c_str());
+      std::remove(tmp_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
   return 0;
 }
 
@@ -217,6 +258,7 @@ int cmd_list() {
   print_names("protocols", routing::known_protocols());
   print_names("mobility models", mobility::mobility_model_names());
   print_names("map kinds", geo::map_kind_names());
+  print_names("community sources", harness::community_source_names());
   return 0;
 }
 
