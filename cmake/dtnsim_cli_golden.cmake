@@ -7,17 +7,29 @@
 #   - `run` on a missing file — exit 1;
 #   - `check` on EVERY shipped examples/*.cfg — exit 0 with its golden
 #     summary line (a new example cfg must ship
-#     tests/cli/expected/check_<name>.stdout alongside it).
+#     tests/cli/expected/check_<name>.stdout alongside it);
+#   - `sweep --resume` diagnostics — the no-journal-path usage error, the
+#     missing-journal fresh-start note, the different-campaign refusal,
+#     and the corrupt-tail recovery warning (goldens sweep_resume_*).
 # Golden files live in tests/cli/expected/. Commands run with the relevant
-# directory as CWD so goldens contain relative paths only.
+# directory as CWD so goldens contain relative paths only; the resume
+# cases run inside a scratch dir under WORK_DIR so their journals never
+# touch the source tree. A golden name of `-` skips that stream (used when
+# the other stream carries the diagnostic under test and this one holds
+# volatile campaign output).
 #
-# Invoked by CTest with -DDTNSIM=... -DSOURCE_DIR=... (see CMakeLists.txt).
+# Invoked by CTest with -DDTNSIM=... -DSOURCE_DIR=... -DWORK_DIR=...
+# (see CMakeLists.txt).
 
 set(CLI_DIR ${SOURCE_DIR}/tests/cli)
 set(EXPECTED_DIR ${CLI_DIR}/expected)
 
-# Compares one captured stream against its golden file ("" = must be empty).
+# Compares one captured stream against its golden file ("" = must be
+# empty, "-" = unchecked).
 function(check_stream label stream golden actual)
+  if(golden STREQUAL "-")
+    return()
+  endif()
   if(golden STREQUAL "")
     if(NOT actual STREQUAL "")
       message(FATAL_ERROR "${label}: expected empty ${stream}, got:\n${actual}")
@@ -69,3 +81,53 @@ foreach(cfg ${example_cfgs})
               check_${name}.stdout ""
               check examples/${name}.cfg)
 endforeach()
+
+# ---- sweep --resume diagnostics ---------------------------------------------
+# All campaign runs use the tiny tests/cli/resume.cfg fixture and live in a
+# scratch dir so journals/results never land in the source tree. Campaign
+# stdout (tables, point counts) is skipped with `-`; the goldens pin the
+# stderr diagnostics, which are the surface under test.
+if(NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "dtnsim_cli_golden needs -DWORK_DIR=<build scratch root>")
+endif()
+set(RESUME_DIR ${WORK_DIR}/cli_golden_resume)
+file(REMOVE_RECURSE ${RESUME_DIR})
+file(MAKE_DIRECTORY ${RESUME_DIR})
+set(FIXTURE ${CLI_DIR}/resume.cfg)
+
+# --resume with nowhere to look for a journal: usage error before any
+# simulation runs.
+golden_case("sweep --resume without journal path" ${RESUME_DIR} 2
+            "" sweep_resume_no_journal.stderr
+            sweep ${FIXTURE} --resume --quiet)
+
+# --resume with a journal path that does not exist yet: noted as a fresh
+# start, campaign runs to completion.
+golden_case("sweep --resume missing journal" ${RESUME_DIR} 0
+            - sweep_resume_fresh.stderr
+            sweep ${FIXTURE} --seeds 1 --quiet --out fresh.json --resume)
+
+# A journal written by a DIFFERENT campaign (axis values changed) must be
+# refused loudly, never silently mixed in. The stale journal survives its
+# campaign because the injected fault leaves a failed point behind.
+golden_case("sweep: seed a stale journal" ${RESUME_DIR} 1
+            - -
+            sweep ${FIXTURE} --axis protocol.copies=2,4 --seeds 1 --quiet
+            --journal stale.j --fault throw@point=1:fires=99)
+golden_case("sweep --resume foreign journal" ${RESUME_DIR} 1
+            - sweep_resume_stale.stderr
+            sweep ${FIXTURE} --axis protocol.copies=2,8 --seeds 1 --quiet
+            --journal stale.j --resume)
+
+# A corrupt/truncated journal tail is dropped with a warning and the
+# affected points recomputed — recovery, not refusal. (7 garbage bytes so
+# the byte count in the golden is deterministic.)
+golden_case("sweep: seed a torn journal" ${RESUME_DIR} 1
+            - -
+            sweep ${FIXTURE} --axis protocol.copies=2,4 --seeds 1 --quiet
+            --journal torn.j --fault throw@point=1:fires=99)
+file(APPEND ${RESUME_DIR}/torn.j "garbage")
+golden_case("sweep --resume corrupt tail" ${RESUME_DIR} 0
+            - sweep_resume_corrupt_tail.stderr
+            sweep ${FIXTURE} --axis protocol.copies=2,4 --seeds 1 --quiet
+            --journal torn.j --resume)

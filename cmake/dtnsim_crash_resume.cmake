@@ -1,0 +1,103 @@
+# Kill–resume equivalence for `dtnsim sweep` (ctest targets
+# dtnsim_crash_resume_t1 / _t3, label `fast` — runs in the sanitizer
+# sweep).
+#
+# The acceptance property of the crash-safe campaign layer, proven with a
+# REAL SIGKILL rather than in-process truncation games (those live in
+# harness_journal_property_test):
+#
+#   1. run the campaign cleanly                       -> clean.json
+#   2. rerun it with `--fault kill@point=2`: the process raises SIGKILL
+#      the moment the journal record for point 2 hits the disk — a crash
+#      mid-campaign with completed work behind it
+#   3. `--resume` the killed campaign                 -> crash.json
+#   4. strip the volatile execution metadata (every line containing
+#      `"exec` — the documented filterability contract of dtnsim-sweep/1)
+#      from both files and require them BYTE-IDENTICAL
+#
+# Run at --threads 1 and --threads 3 (the THREADS cache var) so both the
+# serial path and the pool path honor the journal contract.
+#
+# Invoked by CTest with -DDTNSIM=... -DSOURCE_DIR=... -DWORK_DIR=...
+# -DTHREADS=N (see CMakeLists.txt).
+
+foreach(var DTNSIM SOURCE_DIR WORK_DIR THREADS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "dtnsim_crash_resume needs -D${var}=...")
+  endif()
+endforeach()
+
+set(SCRATCH ${WORK_DIR}/crash_resume_t${THREADS})
+file(REMOVE_RECURSE ${SCRATCH})
+file(MAKE_DIRECTORY ${SCRATCH})
+set(FIXTURE ${SOURCE_DIR}/tests/cli/resume.cfg)
+set(SWEEP_ARGS sweep ${FIXTURE} --axis protocol.copies=2,4,8 --seeds 2
+               --threads ${THREADS} --quiet)
+
+# 1. Uninterrupted reference campaign.
+execute_process(COMMAND ${DTNSIM} ${SWEEP_ARGS} --out clean.json
+                WORKING_DIRECTORY ${SCRATCH}
+                RESULT_VARIABLE rv OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rv STREQUAL "0")
+  message(FATAL_ERROR "clean campaign failed (exit ${rv}):\n${err}")
+endif()
+if(EXISTS ${SCRATCH}/clean.json.journal)
+  message(FATAL_ERROR "clean campaign left its journal behind — a fully "
+                      "successful sweep must remove it")
+endif()
+
+# 2. The same campaign, SIGKILLed right after point 2's record is durable.
+execute_process(COMMAND ${DTNSIM} ${SWEEP_ARGS} --out crash.json
+                        --fault kill@point=2
+                WORKING_DIRECTORY ${SCRATCH}
+                RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+if(rv STREQUAL "0")
+  message(FATAL_ERROR "kill-faulted campaign exited 0 — SIGKILL never fired")
+endif()
+if(EXISTS ${SCRATCH}/crash.json)
+  message(FATAL_ERROR "killed campaign published crash.json — results must "
+                      "only appear on completion")
+endif()
+if(NOT EXISTS ${SCRATCH}/crash.json.journal)
+  message(FATAL_ERROR "killed campaign left no journal — nothing to resume")
+endif()
+
+# 3. Resume: recomputes only the missing points.
+execute_process(COMMAND ${DTNSIM} ${SWEEP_ARGS} --out crash.json --resume
+                WORKING_DIRECTORY ${SCRATCH}
+                RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rv STREQUAL "0")
+  message(FATAL_ERROR "resume failed (exit ${rv}):\n${err}")
+endif()
+if(NOT out MATCHES "resumed [1-9][0-9]* completed point")
+  message(FATAL_ERROR "resume recomputed everything — the journal replay "
+                      "found no completed points:\n${out}")
+endif()
+if(EXISTS ${SCRATCH}/crash.json.journal)
+  message(FATAL_ERROR "successful resume left the journal behind")
+endif()
+
+# 4. Bit-for-bit equivalence modulo the volatile `"exec` lines.
+function(read_filtered path out_var)
+  file(STRINGS ${path} lines)
+  set(kept "")
+  foreach(line IN LISTS lines)
+    if(NOT line MATCHES "\"exec")
+      string(APPEND kept "${line}\n")
+    endif()
+  endforeach()
+  set(${out_var} "${kept}" PARENT_SCOPE)
+endfunction()
+
+read_filtered(${SCRATCH}/clean.json clean)
+read_filtered(${SCRATCH}/crash.json crashed)
+if(NOT clean STREQUAL crashed)
+  message(FATAL_ERROR "resumed aggregates diverge from the uninterrupted "
+                      "campaign\n--- clean ---\n${clean}\n--- resumed ---\n"
+                      "${crashed}")
+endif()
+if(clean STREQUAL "")
+  message(FATAL_ERROR "filtered results are empty — the equivalence check "
+                      "compared nothing")
+endif()
+message(STATUS "crash-resume equivalence holds at --threads ${THREADS}")

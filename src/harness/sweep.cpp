@@ -1,15 +1,22 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "harness/journal.hpp"
 #include "harness/spec_io.hpp"
+#include "util/clock.hpp"
 #include "util/thread_pool.hpp"
 #include "util/value_parse.hpp"
 
@@ -18,7 +25,8 @@ namespace dtn::harness {
 namespace {
 
 /// One run's scalar metric sample; folded into the PointResult
-/// accumulators in task order after the whole grid executed.
+/// accumulators — in seed order per point — the moment the point's last
+/// seed finishes (or replayed from its journal record on resume).
 struct SeedSample {
   double delivery_ratio = 0.0;
   double latency = 0.0;
@@ -46,6 +54,170 @@ void fold_sample(PointResult& point, const SeedSample& s) {
   point.control_mb.add(s.control_mb);
   point.relayed.add(s.relayed);
   point.contacts.add(s.contacts);
+}
+
+// ---- journal payloads -------------------------------------------------------
+//
+// The journal layer (harness/journal.hpp) frames and checksums raw
+// payloads; this is the sweep engine's payload vocabulary on top of it.
+// Line-oriented text, one record per COMPLETED grid point:
+//
+//   point <idx> ok <tries> <wall_ms>
+//   seed <delivery_ratio> <latency> <goodput> <control_mb> <relayed> <contacts>
+//   ... (exactly `seeds` lines, in seed order)
+//
+//   point <idx> failed <tries> <wall_ms>
+//   error <first failure reason, newline-stripped>
+//
+// Doubles are written as C99 hexfloats (%a) so replay reproduces the
+// exact bit pattern — the whole reason resumed aggregates can be required
+// bit-identical to an uninterrupted campaign. The first record of every
+// journal is the campaign fingerprint (see campaign_fingerprint); resume
+// refuses to replay a journal whose fingerprint differs.
+
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+bool parse_hex_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  out = v;
+  return true;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    std::size_t nl = text.find('\n', at);
+    if (nl == std::string::npos) nl = text.size();
+    lines.push_back(text.substr(at, nl - at));
+    at = nl + 1;
+  }
+  return lines;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t at = 0;
+  while (at < line.size()) {
+    std::size_t sp = line.find(' ', at);
+    if (sp == std::string::npos) sp = line.size();
+    if (sp > at) fields.push_back(line.substr(at, sp - at));
+    at = sp + 1;
+  }
+  return fields;
+}
+
+constexpr const char kJournalHeaderTag[] = "campaign dtnsim-sweep-journal/1";
+
+/// What makes two campaigns "the same" for resume purposes: the canonical
+/// base spec, every axis (key + values, in order), the per-point seed
+/// schedule, and the grid size. Threads / progress / fsync cadence are
+/// deliberately excluded — they cannot change any result bit.
+std::string campaign_fingerprint(const SpecSweepOptions& options, std::size_t total) {
+  std::string fp = kJournalHeaderTag;
+  fp += "\nseeds=" + std::to_string(options.seeds) +
+        " seed_base=" + util::format_value(options.seed_base) +
+        " points=" + std::to_string(total) + "\n";
+  for (const auto& axis : options.axes) {
+    fp += "axis " + axis.key + " =";
+    for (const auto& value : axis.values) {
+      fp += '\x1f';  // unambiguous even for values containing spaces
+      fp += value;
+    }
+    fp += "\n";
+  }
+  fp += to_config(options.base);
+  return fp;
+}
+
+std::string sanitize_one_line(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) out += (c == '\n' || c == '\r') ? ' ' : c;
+  return out;
+}
+
+std::string point_record_payload(std::size_t idx, const PointExec& exec,
+                                 const std::vector<SeedSample>& samples) {
+  std::string payload = "point " + std::to_string(idx);
+  payload += exec.ok() ? " ok " : " failed ";
+  payload += std::to_string(exec.tries) + " " + hex_double(exec.wall_ms) + "\n";
+  if (exec.ok()) {
+    for (const SeedSample& s : samples) {
+      payload += "seed " + hex_double(s.delivery_ratio) + " " + hex_double(s.latency) +
+                 " " + hex_double(s.goodput) + " " + hex_double(s.control_mb) + " " +
+                 hex_double(s.relayed) + " " + hex_double(s.contacts) + "\n";
+    }
+  } else {
+    payload += "error " + sanitize_one_line(exec.error) + "\n";
+  }
+  return payload;
+}
+
+struct ParsedPointRecord {
+  std::size_t idx = 0;
+  PointExec exec;
+  std::vector<SeedSample> samples;  ///< empty for failed records
+};
+
+/// Strict parse of one point-record payload. Returns false on anything
+/// malformed or mis-sized (wrong seed count for this campaign) — the
+/// caller then recomputes that point rather than trusting the record.
+bool parse_point_record(const std::string& payload, std::size_t total, int seeds,
+                        ParsedPointRecord& out) {
+  const std::vector<std::string> lines = split_lines(payload);
+  if (lines.empty()) return false;
+  const std::vector<std::string> head = split_fields(lines[0]);
+  if (head.size() != 5 || head[0] != "point") return false;
+  std::int64_t idx = -1;
+  std::int64_t tries = 0;
+  if (!util::parse_value(head[1], idx) || idx < 0 ||
+      static_cast<std::size_t>(idx) >= total) {
+    return false;
+  }
+  const bool ok = head[2] == "ok";
+  if (!ok && head[2] != "failed") return false;
+  if (!util::parse_value(head[3], tries) || tries < 0) return false;
+  double wall_ms = 0.0;
+  if (!parse_hex_double(head[4], wall_ms)) return false;
+
+  out.idx = static_cast<std::size_t>(idx);
+  out.exec.status = ok ? PointExec::Status::kOk : PointExec::Status::kFailed;
+  out.exec.tries = static_cast<int>(tries);
+  out.exec.wall_ms = wall_ms;
+  out.exec.resumed = true;
+  out.exec.error.clear();
+  out.samples.clear();
+
+  if (ok) {
+    if (lines.size() != 1 + static_cast<std::size_t>(seeds)) return false;
+    out.samples.reserve(static_cast<std::size_t>(seeds));
+    for (std::size_t l = 1; l < lines.size(); ++l) {
+      const std::vector<std::string> fields = split_fields(lines[l]);
+      if (fields.size() != 7 || fields[0] != "seed") return false;
+      SeedSample s;
+      double* const slots[6] = {&s.delivery_ratio, &s.latency,   &s.goodput,
+                                &s.control_mb,     &s.relayed,   &s.contacts};
+      for (int f = 0; f < 6; ++f) {
+        if (!parse_hex_double(fields[static_cast<std::size_t>(f) + 1], *slots[f])) {
+          return false;
+        }
+      }
+      out.samples.push_back(s);
+    }
+  } else {
+    if (lines.size() != 2 || lines[1].rfind("error ", 0) != 0) return false;
+    out.exec.error = lines[1].substr(6);
+  }
+  return true;
 }
 
 // ---- legacy engine ----------------------------------------------------------
@@ -158,14 +330,96 @@ std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
     specs.push_back(std::move(spec));
   }
 
+  const int seeds = std::max(options.seeds, 0);
+  const bool journaling = !options.journal_path.empty();
+  if (options.resume && !journaling) {
+    throw SweepJournalError("resume requires a journal path");
+  }
+  const auto notify = [&](const std::string& message) {
+    if (options.note) options.note(message);
+  };
+
+  // ---- resume: replay the journal's valid prefix ---------------------------
+  const std::string header = campaign_fingerprint(options, total);
+  std::vector<char> completed(total, 0);
+  JournalWriter journal;
+  if (journaling) {
+    bool need_header = true;
+    if (options.resume) {
+      const JournalReadResult replay = read_journal(options.journal_path);
+      if (replay.io_error) {
+        throw SweepJournalError("cannot read journal '" + options.journal_path + "'");
+      }
+      if (replay.missing) {
+        notify("journal '" + options.journal_path +
+               "' not found; starting a fresh campaign");
+      } else if (replay.records.empty()) {
+        // The file exists but holds no intact record — a campaign killed
+        // mid-header-write. Nothing is replayable; recompute everything.
+        notify("journal '" + options.journal_path +
+               "': no intact records (dropped " +
+               std::to_string(replay.dropped_bytes) +
+               " byte(s)); recomputing the full campaign");
+        truncate_file(options.journal_path, 0);
+      } else if (replay.records.front() != header) {
+        throw SweepJournalError(
+            "cannot resume: journal '" + options.journal_path +
+            "' was written by a different campaign (base spec, axes, seeds, or "
+            "seed base differ) — delete it or rerun without resume");
+      } else {
+        if (replay.tail_dropped()) {
+          notify("journal '" + options.journal_path +
+                 "': dropped corrupt/truncated tail (" +
+                 std::to_string(replay.dropped_bytes) +
+                 " byte(s)); affected points will be recomputed");
+          // Cut the garbage BEFORE appending: new records written behind a
+          // corrupt region would be unreachable on the next replay.
+          truncate_file(options.journal_path, replay.valid_bytes);
+        }
+        need_header = false;
+        // Last record per point wins (a resumed-after-failure retry
+        // supersedes the failed record it was retrying).
+        std::vector<const std::string*> latest(total, nullptr);
+        ParsedPointRecord record;
+        for (std::size_t r = 1; r < replay.records.size(); ++r) {
+          if (parse_point_record(replay.records[r], total, seeds, record)) {
+            latest[record.idx] = &replay.records[r];
+          }
+        }
+        for (std::size_t p = 0; p < total; ++p) {
+          if (latest[p] == nullptr) continue;
+          if (!parse_point_record(*latest[p], total, seeds, record)) continue;
+          if (!record.exec.ok()) continue;  // failed points are recomputed
+          for (const SeedSample& s : record.samples) {
+            fold_sample(points[p].result, s);
+          }
+          points[p].exec = record.exec;
+          completed[p] = 1;
+        }
+      }
+    } else {
+      // A fresh journaled campaign owns its path outright: drop any stale
+      // journal so old records cannot shadow this run on a later resume.
+      truncate_file(options.journal_path, 0);
+    }
+    std::string error;
+    if (!journal.open(options.journal_path, &error)) throw SweepJournalError(error);
+    journal.set_sync_every(options.sync_every);
+    if (need_header && !journal.append(header)) {
+      throw SweepJournalError("cannot write journal '" + options.journal_path + "'");
+    }
+  }
+
+  // ---- task list: only the points the journal did not complete -------------
   struct Task {
     std::size_t point;
     std::uint64_t seed;
   };
   std::vector<Task> tasks;
-  tasks.reserve(points.size() * static_cast<std::size_t>(std::max(options.seeds, 0)));
+  tasks.reserve(points.size() * static_cast<std::size_t>(seeds));
   for (std::size_t p = 0; p < points.size(); ++p) {
-    for (int s = 0; s < options.seeds; ++s) {
+    if (completed[p]) continue;
+    for (int s = 0; s < seeds; ++s) {
       tasks.push_back(Task{p, options.seed_base + static_cast<std::uint64_t>(s)});
     }
   }
@@ -175,18 +429,205 @@ std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
                             : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers = std::min(workers, tasks.size());
 
-  // Per-task sample slots: runs write their own slot with no lock; the
-  // fold below is serial and in task order, so the aggregates cannot
-  // depend on thread count or completion order.
-  std::vector<SeedSample> samples(tasks.size());
+  // Per-point in-flight state. Samples are buffered only until the point's
+  // last seed lands: the fold runs at completion (seed order, so the
+  // aggregates stay bit-identical to the old run-everything-then-fold loop
+  // for any thread count), the journal record streams out, and the buffer
+  // is released — memory is O(in-flight points), not O(campaign).
+  struct PointState {
+    std::vector<SeedSample> samples;
+    int remaining = 0;
+    int tries = 0;
+    double wall_ms = 0.0;
+    bool failed = false;
+    std::string error;  ///< first failure reason
+  };
+  std::vector<PointState> state(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    if (!completed[p]) state[p].remaining = seeds;
+  }
+
+  std::mutex book_mutex;  ///< guards PointState, the fold, and the journal
   std::mutex progress_mutex;
-  const auto run_task = [&](ScenarioRunner& runner, std::size_t i) {
-    ScenarioSpec spec = specs[tasks[i].point];
+  bool journal_sick = false;  ///< append failed (disk full) — noted once
+
+  SweepFaultPlan* const fault = options.fault_plan;
+  const auto fault_armed = [fault](std::size_t point) {
+    if (fault == nullptr || fault->point != point) return false;
+    // fetch_add so concurrent attempts cannot both claim the last fire.
+    return fault->fired.fetch_add(1, std::memory_order_relaxed) < fault->fires;
+  };
+
+  /// Books one finished task (success or failure); on the point's last
+  /// seed, folds + journals + releases the point.
+  const auto finish_task = [&](std::size_t task_index, const SeedSample* sample,
+                               int attempts, double wall_ms, const std::string& error) {
+    const std::size_t p = tasks[task_index].point;
+    const std::lock_guard<std::mutex> lock(book_mutex);
+    PointState& st = state[p];
+    if (st.samples.empty()) st.samples.resize(static_cast<std::size_t>(seeds));
+    const std::size_t s =
+        static_cast<std::size_t>(tasks[task_index].seed - options.seed_base);
+    if (sample != nullptr) {
+      st.samples[s] = *sample;
+    } else if (!st.failed) {
+      st.failed = true;
+      st.error = error;
+    }
+    st.tries += attempts;
+    st.wall_ms += wall_ms;
+    if (--st.remaining > 0) return;
+
+    // Point complete: fold (seed order), stream the record, free the buffer.
+    PointExec& exec = points[p].exec;
+    exec.status = st.failed ? PointExec::Status::kFailed : PointExec::Status::kOk;
+    exec.error = st.error;
+    exec.tries = st.tries;
+    exec.wall_ms = st.wall_ms;
+    exec.resumed = false;
+    if (!st.failed) {
+      for (const SeedSample& seed_sample : st.samples) {
+        fold_sample(points[p].result, seed_sample);
+      }
+    }
+    if (journaling && !journal_sick) {
+      if (!journal.append(point_record_payload(p, exec, st.samples))) {
+        journal_sick = true;
+        notify("journal '" + options.journal_path +
+               "': write failed; campaign continues WITHOUT crash safety");
+      } else if (fault != nullptr && fault->action == SweepFaultPlan::Action::kKill &&
+                 journal.bytes() >= fault->journal_bytes) {
+        std::raise(SIGKILL);  // deterministic "crashed right after this record"
+      }
+    }
+    st.samples.clear();
+    st.samples.shrink_to_fit();
+    st.error.clear();
+  };
+
+  /// One simulation attempt on the worker's runner, no timeout. Returns
+  /// true on success; false fills `error`.
+  const auto attempt_inline = [&](ScenarioRunner& runner, const ScenarioSpec& spec,
+                                  int hang_ms, SeedSample& out, std::string& error) {
+    try {
+      if (hang_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(hang_ms));
+      }
+      out = sample_of(runner.run(spec));
+      return true;
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown exception";
+    }
+    return false;
+  };
+
+  /// One attempt supervised by a wall-clock watchdog: the simulation runs
+  /// on a helper thread; if it outlives point_timeout_s it is ABANDONED
+  /// (helper + its World stay alive on shared_ptrs until the run returns,
+  /// then evaporate) and the worker continues on a fresh World. Returns
+  /// true on success, false with `error` on failure or timeout.
+  struct AttemptShared {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    SeedSample sample;
+    std::string error;
+  };
+  const auto attempt_with_timeout = [&](std::shared_ptr<ScenarioRunner>& runner_slot,
+                                        const ScenarioSpec& spec, int hang_ms,
+                                        SeedSample& out, std::string& error) {
+    auto shared = std::make_shared<AttemptShared>();
+    std::shared_ptr<ScenarioRunner> runner = runner_slot;
+    std::thread helper([shared, runner, spec, hang_ms] {
+      SeedSample sample;
+      std::string attempt_error;
+      bool ok = false;
+      try {
+        if (hang_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(hang_ms));
+        }
+        sample = sample_of(runner->run(spec));
+        ok = true;
+      } catch (const std::exception& e) {
+        attempt_error = e.what();
+      } catch (...) {
+        attempt_error = "unknown exception";
+      }
+      const std::lock_guard<std::mutex> lock(shared->m);
+      shared->sample = sample;
+      shared->error = std::move(attempt_error);
+      shared->ok = ok;
+      shared->done = true;
+      shared->cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(shared->m);
+    const bool finished = shared->cv.wait_for(
+        lock, std::chrono::duration<double>(options.point_timeout_s),
+        [&] { return shared->done; });
+    if (finished) {
+      lock.unlock();
+      helper.join();
+      if (shared->ok) {
+        out = shared->sample;
+        return true;
+      }
+      error = shared->error;
+      return false;
+    }
+    lock.unlock();
+    helper.detach();  // everything it touches is shared_ptr-owned
+    runner_slot = std::make_shared<ScenarioRunner>();  // abandoned World replaced
+    error = "timed out after " + util::format_value(options.point_timeout_s) + " s";
+    return false;
+  };
+
+  const auto run_task = [&](std::shared_ptr<ScenarioRunner>& runner_slot,
+                            std::size_t i) {
+    const std::size_t p = tasks[i].point;
+    ScenarioSpec spec = specs[p];
     spec.seed = tasks[i].seed;
-    samples[i] = sample_of(runner.run(spec));
+
+    const int max_attempts = 1 + std::max(options.retries, 0);
+    int attempts = 0;
+    bool ok = false;
+    SeedSample sample;
+    std::string error;
+    util::Stopwatch watch;
+    while (attempts < max_attempts && !ok) {
+      ++attempts;
+      int hang_ms = 0;
+      if (fault_armed(p)) {
+        switch (fault->action) {
+          case SweepFaultPlan::Action::kKill: std::raise(SIGKILL); break;
+          case SweepFaultPlan::Action::kThrow:
+            error = "injected fault: throw at point " + std::to_string(p);
+            continue;
+          case SweepFaultPlan::Action::kHang: hang_ms = fault->hang_ms; break;
+        }
+      }
+      ok = options.point_timeout_s > 0.0
+               ? attempt_with_timeout(runner_slot, spec, hang_ms, sample, error)
+               : attempt_inline(*runner_slot, spec, hang_ms, sample, error);
+    }
+    const double wall_ms = watch.elapsed_ms();
+
+    if (!ok && !options.isolate_failures) {
+      // The satellite fix: a failing point must name itself. Without this
+      // the pool's first-exception propagation surfaces a bare what() with
+      // no clue WHICH of ten thousand runs died.
+      std::string label = points[p].label();
+      if (!label.empty()) label += "/";
+      label += "seed=" + std::to_string(tasks[i].seed);
+      throw std::runtime_error("sweep point [" + label + "] failed after " +
+                               std::to_string(attempts) + " attempt(s): " + error);
+    }
+    finish_task(i, ok ? &sample : nullptr, attempts, wall_ms, error);
     if (options.progress) {
       // Outside every merge path; serialized only against itself.
-      std::string label = points[tasks[i].point].label();
+      std::string label = points[p].label();
       if (!label.empty()) label += "/";
       label += "seed=" + std::to_string(tasks[i].seed);
       const std::lock_guard<std::mutex> lock(progress_mutex);
@@ -195,18 +636,20 @@ std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
   };
 
   if (workers <= 1) {
-    ScenarioRunner runner;  // one warm World for the entire grid
+    auto runner = std::make_shared<ScenarioRunner>();  // one warm World, whole grid
     for (std::size_t i = 0; i < tasks.size(); ++i) run_task(runner, i);
   } else {
-    std::vector<ScenarioRunner> runners(workers);  // one warm World per worker
+    std::vector<std::shared_ptr<ScenarioRunner>> runners;  // one warm World per worker
+    runners.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      runners.push_back(std::make_shared<ScenarioRunner>());
+    }
     util::ThreadPool::shared().parallel_for(
         tasks.size(), workers,
         [&](std::size_t worker, std::size_t i) { run_task(runners[worker], i); });
   }
 
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    fold_sample(points[tasks[i].point].result, samples[i]);
-  }
+  if (journaling) journal.sync();
   return points;
 }
 
@@ -362,6 +805,17 @@ std::string sweep_results_json(const SpecSweepOptions& options,
   out += "  \"scenario\": " + json_string(options.base.name) + ",\n";
   out += "  \"seeds\": " + std::to_string(options.seeds) + ",\n";
   out += "  \"seed_base\": " + util::format_value(options.seed_base) + ",\n";
+  // Volatile execution metadata lives on lines containing `"exec` (this
+  // one and each point's "exec" object) so campaign-equivalence tooling
+  // can filter them before a bit-for-bit diff of the aggregates.
+  std::size_t resumed_points = 0;
+  std::size_t failed_points = 0;
+  for (const auto& point : results) {
+    if (point.exec.resumed) ++resumed_points;
+    if (!point.exec.ok()) ++failed_points;
+  }
+  out += "  \"execution\": {\"resumed_points\": " + std::to_string(resumed_points) +
+         ", \"failed_points\": " + std::to_string(failed_points) + "},\n";
   out += "  \"axes\": [";
   for (std::size_t a = 0; a < options.axes.size(); ++a) {
     if (a != 0) out += ", ";
@@ -382,8 +836,14 @@ std::string sweep_results_json(const SpecSweepOptions& options,
              json_string(point.overrides[o].second);
     }
     out += "},\n     \"protocol\": " + json_string(point.result.protocol) +
-           ", \"nodes\": " + std::to_string(point.result.node_count) +
-           ",\n     \"metrics\": {";
+           ", \"nodes\": " + std::to_string(point.result.node_count) + ",\n";
+    out += "     \"exec\": {\"status\": " +
+           json_string(point.exec.ok() ? "ok" : "failed") +
+           ", \"tries\": " + std::to_string(point.exec.tries) +
+           ", \"wall_ms\": " + json_number(point.exec.wall_ms) +
+           ", \"resumed\": " + (point.exec.resumed ? "true" : "false");
+    if (!point.exec.ok()) out += ", \"error\": " + json_string(point.exec.error);
+    out += "},\n     \"metrics\": {";
     append_stat(out, "delivery_ratio", point.result.delivery_ratio);
     out += ", ";
     append_stat(out, "latency_s", point.result.latency);

@@ -22,8 +22,26 @@
 // the pre-PR3 engine (throwaway pool, one heap task + future per run,
 // fresh World per run, mutex-serialized merge + progress) in the same
 // binary as the bench baseline.
+// Crash safety (this PR): with SpecSweepOptions::journal_path set,
+// run_spec_sweep streams every COMPLETED grid point (all its seeds
+// finished) as one checksummed record into an append-only journal
+// (harness/journal.hpp) the moment it completes, fsync'd on a
+// configurable cadence — a killed campaign keeps everything it finished.
+// With resume = true the engine replays the journal first (validating a
+// campaign fingerprint: base spec, axes, seeds, seed base), folds the
+// replayed per-seed samples exactly as a live run would, and recomputes
+// ONLY the missing points, so the final aggregates are bit-identical to an
+// uninterrupted campaign (pinned by harness_journal_property_test and the
+// dtnsim_crash_resume ctest). Per-point failure isolation
+// (isolate_failures / retries / point_timeout_s) records a throwing or
+// timed-out point as failed-with-reason instead of killing the campaign;
+// SweepFaultPlan is the deterministic fault-injection hook the recovery
+// tests drive (throw / hang / SIGKILL at a grid point or journal byte
+// offset).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
@@ -56,6 +74,29 @@ struct SweepAxis {
   std::vector<std::string> values;
 };
 
+/// Deterministic fault-injection hook for the crash-recovery tests (and
+/// the hidden `dtnsim sweep --fault` flag). The plan fires on attempts of
+/// grid point `point` (at most `fires` times, counted in `fired`), or —
+/// for kKill — when the journal length reaches `journal_bytes`. Owned by
+/// the caller; the engine only mutates `fired`.
+struct SweepFaultPlan {
+  enum class Action {
+    kThrow,  ///< the attempt throws std::runtime_error("injected fault ...")
+    kHang,   ///< the attempt sleeps hang_ms before running (drives timeouts)
+    kKill    ///< raise(SIGKILL) — the process dies exactly as a crash would
+  };
+  Action action = Action::kThrow;
+  /// Grid point whose attempts trigger the fault (cross-product index).
+  std::size_t point = static_cast<std::size_t>(-1);
+  /// kKill alternative trigger: fire once the journal reaches this length
+  /// (checked after each record append, while the record is already
+  /// flushed — "crash immediately after byte offset M").
+  std::uint64_t journal_bytes = UINT64_MAX;
+  int hang_ms = 0;  ///< kHang: injected stall before the simulation runs
+  int fires = 1;    ///< max at-point activations (INT_MAX = every attempt)
+  std::atomic<int> fired{0};
+};
+
 /// Declarative sweep: base spec + axis overrides.
 struct SpecSweepOptions {
   ScenarioSpec base;
@@ -67,6 +108,49 @@ struct SpecSweepOptions {
   /// fire from worker threads; calls are serialized against each other but
   /// never hold any merge/result lock.
   std::function<void(const std::string&)> progress;
+
+  // ---- crash safety / failure isolation ------------------------------------
+  /// Non-empty: stream each completed point into this append-only journal.
+  std::string journal_path;
+  /// Replay journal_path before executing (recompute only missing points).
+  /// The journal must carry this campaign's fingerprint — base spec, axes,
+  /// seeds, seed_base — or run_spec_sweep throws SweepJournalError. A
+  /// missing journal file is NOT an error (fresh start, noted via `note`).
+  bool resume = false;
+  /// Journal fsync cadence in records: 1 (default) = every record survives
+  /// power loss, N = at most N trailing records ride the page cache, 0 =
+  /// flush-only (still survives process death).
+  int sync_every = 1;
+  /// When true, a point whose run throws (or times out) is recorded as
+  /// failed-with-reason — in the results and the journal — instead of
+  /// aborting the campaign. When false (default, the library behavior),
+  /// the first failure is rethrown WITH the point key in its message.
+  bool isolate_failures = false;
+  /// Extra attempts per failed point-run (one seed's simulation) before
+  /// the point is declared failed.
+  int retries = 0;
+  /// Wall-clock cap per point-run attempt, seconds; 0 = none. A timed-out
+  /// attempt is abandoned (its worker continues on a fresh World) and
+  /// counts as a failure, subject to `retries`.
+  double point_timeout_s = 0.0;
+  /// Diagnostics channel (corrupt-tail warnings, resume notes). Serialized
+  /// like `progress`; stderr in the CLI.
+  std::function<void(const std::string&)> note;
+  /// Test-only deterministic fault injection (see SweepFaultPlan).
+  SweepFaultPlan* fault_plan = nullptr;
+};
+
+/// How one grid point was actually executed — the robustness metadata next
+/// to its metrics. Serialized additively into dtnsim-sweep/1 (the "exec"
+/// object) and into the journal.
+struct PointExec {
+  enum class Status { kOk, kFailed };
+  Status status = Status::kOk;
+  std::string error;    ///< first failure reason ("" when ok)
+  int tries = 0;        ///< simulation attempts across all seeds (== seeds clean)
+  double wall_ms = 0.0; ///< total attempt wall time (monotonic clock)
+  bool resumed = false; ///< replayed from the journal, not recomputed
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
 };
 
 /// One resolved grid point: the axis assignments that produced it plus the
@@ -75,13 +159,28 @@ struct SpecSweepOptions {
 struct SpecPointResult {
   std::vector<std::pair<std::string, std::string>> overrides;  ///< key, value per axis
   PointResult result;
+  PointExec exec;  ///< how the point ran (ok/failed, tries, wall, resumed)
   /// "key=value key=value" (empty for an axis-less sweep).
   [[nodiscard]] std::string label() const;
 };
 
+/// Thrown on journal problems that must stop a resume loudly instead of
+/// silently recomputing or double-counting: a journal written by a
+/// different campaign (fingerprint mismatch — base spec, axes, seeds, or
+/// seed base changed), or an unopenable/unwritable journal path.
+class SweepJournalError : public std::runtime_error {
+ public:
+  explicit SweepJournalError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Runs the declarative grid; points ordered by the axis cross product
-/// (first axis outermost). Throws SpecError on an invalid axis key/value
-/// and std::invalid_argument on specs that fail validation.
+/// (first axis outermost). Throws SpecError on an invalid axis key/value,
+/// std::invalid_argument on specs that fail validation, and
+/// SweepJournalError on journal/resume problems. Memory note: per-seed
+/// samples are buffered only for IN-FLIGHT points (bounded by the worker
+/// count, not the campaign length) — each point folds its accumulators
+/// and releases its sample buffer the moment its last seed finishes,
+/// which is also when its journal record is streamed out.
 std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options);
 
 struct SweepOptions {
@@ -126,16 +225,23 @@ util::TablePrinter sweep_table(const std::vector<SpecPointResult>& results,
 ///     "scenario": <base spec name>,
 ///     "seeds": <per-point repetitions>, "seed_base": <first seed>,
 ///     "axes": [{"key": ..., "values": [...]}, ...],
+///     "execution": {"resumed_points": ..., "failed_points": ...},
 ///     "points": [{
 ///       "overrides": {<axis key>: <value>, ...},
 ///       "protocol": ..., "nodes": ...,
+///       "exec": {"status": "ok"|"failed", "tries": ..., "wall_ms": ...,
+///                "resumed": ...[, "error": ...]},
 ///       "metrics": {<name>: {"mean": ..., "stddev": ..., "count": ...}, ...}
 ///     }, ...]
 ///   }
 /// Metric names: delivery_ratio, latency_s, goodput, control_MB, relayed,
 /// contacts. Numbers use shortest-round-trip formatting (non-finite values
 /// serialize as null); points appear in axis cross-product order. Additive
-/// schema evolution only — existing fields keep their meaning.
+/// schema evolution only — existing fields keep their meaning. The
+/// "execution" / "exec" members (added with the crash-safe campaign layer)
+/// are the only volatile fields (wall_ms, resumed counts); both live on
+/// lines containing `"exec` so equivalence tooling (the crash-resume
+/// ctest) can filter them before diffing two campaigns bit-for-bit.
 std::string sweep_results_json(const SpecSweepOptions& options,
                                const std::vector<SpecPointResult>& results);
 

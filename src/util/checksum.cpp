@@ -1,0 +1,37 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace dtn::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kCrc32Table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data.data(), data.size()));
+}
+
+}  // namespace dtn::util

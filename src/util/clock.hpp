@@ -1,0 +1,34 @@
+// Monotonic wall-clock helpers for the harness: per-point timing
+// (wall_ms in sweep results) and per-point timeout enforcement must not
+// jump when the system clock is adjusted, so everything here is
+// steady_clock-based. Header-only.
+#pragma once
+
+#include <chrono>
+
+namespace dtn::util {
+
+/// Milliseconds on the monotonic clock; only differences are meaningful.
+[[nodiscard]] inline double monotonic_ms() noexcept {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple elapsed-time stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(std::chrono::steady_clock::now()) {}
+  void restart() noexcept { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+  [[nodiscard]] double elapsed_s() const noexcept { return elapsed_ms() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dtn::util

@@ -1,0 +1,333 @@
+// Crash-recovery equivalence properties for the journaled sweep engine:
+// for ANY prefix of the journal a crash could leave behind — cut at a
+// record boundary, torn mid-record, or bit-flipped — `resume` recomputes
+// exactly the missing points and the final aggregates are BIT-IDENTICAL
+// to an uninterrupted campaign, at thread counts 1 and 3. This is the
+// in-process half of the acceptance gate; the real-SIGKILL half is the
+// dtnsim_crash_resume ctest (cmake/dtnsim_crash_resume.cmake).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/journal.hpp"
+#include "harness/spec_io.hpp"
+#include "harness/sweep.hpp"
+
+namespace dtn::harness {
+namespace {
+
+/// Smallest sweepable world that still produces nonzero, copies-dependent
+/// metrics (mirrors tests/cli/resume.cfg).
+ScenarioSpec tiny_spec() {
+  return parse_spec(
+      "scenario.name = journal_prop\n"
+      "scenario.duration = 1500\n"
+      "scenario.seed = 7\n"
+      "map.kind = open_field\n"
+      "map.width = 120\n"
+      "map.height = 120\n"
+      "group.walkers.model = random_waypoint\n"
+      "group.walkers.count = 8\n"
+      "group.walkers.speed_min = 1\n"
+      "group.walkers.speed_max = 3\n"
+      "world.radio_range = 40\n"
+      "protocol.name = EER\n"
+      "protocol.copies = 4\n"
+      "communities.count = 2\n"
+      "traffic.interval_min = 20\n"
+      "traffic.interval_max = 30\n");
+}
+
+SpecSweepOptions base_options(std::size_t threads) {
+  SpecSweepOptions opt;
+  opt.base = tiny_spec();
+  opt.axes = {{"protocol.copies", {"2", "4", "8"}}};
+  opt.seeds = 2;
+  opt.threads = threads;
+  return opt;
+}
+
+/// Bitwise equality of every aggregate — the acceptance bar is
+/// bit-identical, not approximately-equal, so EXPECT_EQ on doubles is the
+/// point, not an oversight.
+void expect_bitwise_equal(const std::vector<SpecPointResult>& got,
+                          const std::vector<SpecPointResult>& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const PointResult& g = got[i].result;
+    const PointResult& w = want[i].result;
+    const std::string where = context + " point " + std::to_string(i);
+    EXPECT_EQ(g.delivery_ratio.mean(), w.delivery_ratio.mean()) << where;
+    EXPECT_EQ(g.delivery_ratio.stddev(), w.delivery_ratio.stddev()) << where;
+    EXPECT_EQ(g.delivery_ratio.count(), w.delivery_ratio.count()) << where;
+    EXPECT_EQ(g.latency.mean(), w.latency.mean()) << where;
+    EXPECT_EQ(g.latency.stddev(), w.latency.stddev()) << where;
+    EXPECT_EQ(g.goodput.mean(), w.goodput.mean()) << where;
+    EXPECT_EQ(g.control_mb.mean(), w.control_mb.mean()) << where;
+    EXPECT_EQ(g.relayed.mean(), w.relayed.mean()) << where;
+    EXPECT_EQ(g.contacts.mean(), w.contacts.mean()) << where;
+    EXPECT_EQ(g.contacts.stddev(), w.contacts.stddev()) << where;
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string data;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, got);
+  std::fclose(f);
+  return data;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+class JournalPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string("journal_prop_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".dtnj";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(JournalPropertyTest, JournalingItselfChangesNothing) {
+  // A journaled campaign and a journal-less one are the same campaign.
+  for (const std::size_t threads : {1u, 3u}) {
+    SpecSweepOptions plain = base_options(threads);
+    const auto want = run_spec_sweep(plain);
+    SpecSweepOptions journaled = base_options(threads);
+    journaled.journal_path = path_;
+    const auto got = run_spec_sweep(journaled);
+    expect_bitwise_equal(got, want, "threads=" + std::to_string(threads));
+    std::remove(path_.c_str());
+  }
+}
+
+TEST_F(JournalPropertyTest, ResumeFromEveryRecordBoundaryIsBitIdentical) {
+  // Simulate "SIGKILL right after record N was synced" for EVERY N by
+  // truncating a complete journal at each record boundary, then resuming.
+  // Covers the full acceptance matrix at thread counts 1 and 3.
+  SpecSweepOptions ref = base_options(1);
+  const auto want = run_spec_sweep(ref);
+
+  SpecSweepOptions full = base_options(1);
+  full.journal_path = path_;
+  run_spec_sweep(full);
+  const std::string bytes = read_file(path_);
+
+  // Record boundaries: re-frame the replayed payloads to find the offsets.
+  const JournalReadResult replay = read_journal(path_);
+  ASSERT_FALSE(replay.tail_dropped());
+  ASSERT_EQ(replay.records.size(), 4u);  // header + 3 points
+  std::vector<std::size_t> boundaries = {0};
+  for (const auto& payload : replay.records) {
+    boundaries.push_back(boundaries.back() + frame_record(payload).size());
+  }
+  ASSERT_EQ(boundaries.back(), bytes.size());
+
+  for (const std::size_t cut : boundaries) {
+    for (const std::size_t threads : {1u, 3u}) {
+      write_file(path_, bytes.substr(0, cut));
+      SpecSweepOptions resume = base_options(threads);
+      resume.journal_path = path_;
+      resume.resume = true;
+      const auto got = run_spec_sweep(resume);
+      expect_bitwise_equal(got, want,
+                           "cut=" + std::to_string(cut) +
+                               " threads=" + std::to_string(threads));
+      // Replayed points are flagged; recomputed ones are not. The header
+      // is record 0, so a cut after record k+1 replays k points.
+      std::size_t resumed = 0;
+      for (const auto& point : got) resumed += point.exec.resumed ? 1 : 0;
+      std::size_t expected_resumed = 0;
+      for (std::size_t b = 2; b < boundaries.size(); ++b) {
+        if (cut >= boundaries[b]) ++expected_resumed;
+      }
+      EXPECT_EQ(resumed, expected_resumed) << "cut=" << cut;
+    }
+  }
+}
+
+TEST_F(JournalPropertyTest, ResumeFromEveryTornPrefixIsBitIdentical) {
+  // The torn-write property: cut the journal at EVERY byte offset (not
+  // just record boundaries) — mid-frame, mid-payload, mid-checksum — and
+  // resume. The corrupt tail must be dropped and recomputed, never
+  // double-counted, never fatal.
+  SpecSweepOptions ref = base_options(1);
+  const auto want = run_spec_sweep(ref);
+
+  SpecSweepOptions full = base_options(1);
+  full.journal_path = path_;
+  run_spec_sweep(full);
+  const std::string bytes = read_file(path_);
+
+  // A prime stride keeps the sampled cuts landing on every region of the
+  // frame (magic, length, crc, payload) across records while holding the
+  // test to sanitizer-budget wall time; the worst case per cut is a full
+  // recompute of the tiny grid.
+  for (std::size_t cut = 0; cut <= bytes.size(); cut += 29) {
+    write_file(path_, bytes.substr(0, cut));
+    SpecSweepOptions resume = base_options(1);
+    resume.journal_path = path_;
+    resume.resume = true;
+    const auto got = run_spec_sweep(resume);
+    expect_bitwise_equal(got, want, "torn at byte " + std::to_string(cut));
+  }
+}
+
+TEST_F(JournalPropertyTest, BitFlipsNeverCorruptResults) {
+  // Flip one bit somewhere in every region of the file; the damaged suffix
+  // is recomputed and the aggregates still match bit-for-bit.
+  SpecSweepOptions ref = base_options(1);
+  const auto want = run_spec_sweep(ref);
+
+  SpecSweepOptions full = base_options(1);
+  full.journal_path = path_;
+  run_spec_sweep(full);
+  const std::string bytes = read_file(path_);
+
+  for (std::size_t at = 0; at < bytes.size(); at += 37) {
+    std::string mutated = bytes;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x10);
+    write_file(path_, mutated);
+    SpecSweepOptions resume = base_options(1);
+    resume.journal_path = path_;
+    resume.resume = true;
+    // A flip inside the HEADER record makes the journal look like a
+    // different campaign — refusing loudly is the correct behavior there;
+    // flips behind the header must resume cleanly.
+    try {
+      const auto got = run_spec_sweep(resume);
+      expect_bitwise_equal(got, want, "flip at byte " + std::to_string(at));
+    } catch (const SweepJournalError&) {
+      // Acceptable only if the flip landed in the fingerprint record —
+      // i.e. the journal no longer identifies as this campaign.
+      const JournalReadResult damaged = read_journal(path_);
+      const bool header_intact =
+          !damaged.records.empty() &&
+          damaged.records.front().rfind("campaign ", 0) == 0;
+      EXPECT_FALSE(header_intact)
+          << "flip at byte " << at
+          << " raised SweepJournalError with an intact header";
+    }
+  }
+}
+
+TEST_F(JournalPropertyTest, ResumeNeverDoubleCountsACompletedPoint) {
+  // Resuming a COMPLETE journal must replay all points and run nothing:
+  // every count stays `seeds`, not 2×seeds.
+  SpecSweepOptions full = base_options(1);
+  full.journal_path = path_;
+  const auto want = run_spec_sweep(full);
+
+  SpecSweepOptions resume = base_options(3);
+  resume.journal_path = path_;
+  resume.resume = true;
+  int recomputed = 0;
+  resume.progress = [&](const std::string&) { ++recomputed; };
+  const auto got = run_spec_sweep(resume);
+  EXPECT_EQ(recomputed, 0) << "a complete journal must not re-run anything";
+  for (const auto& point : got) {
+    EXPECT_TRUE(point.exec.resumed);
+    EXPECT_EQ(point.result.delivery_ratio.count(), 2u);
+  }
+  expect_bitwise_equal(got, want, "complete-journal resume");
+}
+
+TEST_F(JournalPropertyTest, FailedRecordIsRetriedOnResume) {
+  // A campaign whose point 1 failed (isolated) journals a failed record;
+  // the resume recomputes exactly that point and ends bit-identical to a
+  // never-failed campaign.
+  SpecSweepOptions ref = base_options(1);
+  const auto want = run_spec_sweep(ref);
+
+  SweepFaultPlan fault;
+  fault.action = SweepFaultPlan::Action::kThrow;
+  fault.point = 1;
+  fault.fires = 1000;  // every attempt of point 1 fails
+  SpecSweepOptions faulty = base_options(1);
+  faulty.journal_path = path_;
+  faulty.isolate_failures = true;
+  faulty.fault_plan = &fault;
+  const auto crashed = run_spec_sweep(faulty);
+  ASSERT_FALSE(crashed[1].exec.ok());
+  EXPECT_NE(crashed[1].exec.error.find("injected fault"), std::string::npos);
+  EXPECT_TRUE(crashed[0].exec.ok());
+  EXPECT_TRUE(crashed[2].exec.ok());
+
+  SpecSweepOptions resume = base_options(1);
+  resume.journal_path = path_;
+  resume.resume = true;
+  int recomputed_runs = 0;
+  resume.progress = [&](const std::string&) { ++recomputed_runs; };
+  const auto got = run_spec_sweep(resume);
+  EXPECT_EQ(recomputed_runs, resume.seeds) << "only the failed point re-runs";
+  EXPECT_TRUE(got[1].exec.ok());
+  EXPECT_FALSE(got[1].exec.resumed);
+  EXPECT_TRUE(got[0].exec.resumed);
+  EXPECT_TRUE(got[2].exec.resumed);
+  expect_bitwise_equal(got, want, "failed-record resume");
+}
+
+TEST_F(JournalPropertyTest, ForeignJournalIsRefusedLoudly) {
+  // Same path, different campaign (axis values changed): resume must
+  // refuse, not silently mix two campaigns' points.
+  SpecSweepOptions first = base_options(1);
+  first.journal_path = path_;
+  run_spec_sweep(first);
+
+  SpecSweepOptions other = base_options(1);
+  other.axes = {{"protocol.copies", {"2", "16"}}};
+  other.journal_path = path_;
+  other.resume = true;
+  EXPECT_THROW(run_spec_sweep(other), SweepJournalError);
+
+  // Seed-base change is also a different campaign.
+  SpecSweepOptions reseeded = base_options(1);
+  reseeded.seed_base = 99;
+  reseeded.journal_path = path_;
+  reseeded.resume = true;
+  EXPECT_THROW(run_spec_sweep(reseeded), SweepJournalError);
+}
+
+TEST_F(JournalPropertyTest, FreshCampaignOwnsAStaleJournalPath) {
+  // Without resume, a pre-existing journal at the path is truncated — its
+  // stale records must not shadow the new campaign on a LATER resume.
+  SpecSweepOptions first = base_options(1);
+  first.journal_path = path_;
+  run_spec_sweep(first);
+  const std::string old_bytes = read_file(path_);
+
+  SpecSweepOptions fresh = base_options(1);
+  fresh.seed_base = 1234;  // different campaign, same path, no resume
+  fresh.journal_path = path_;
+  const auto want = run_spec_sweep(fresh);
+
+  const std::string new_bytes = read_file(path_);
+  EXPECT_NE(new_bytes, old_bytes);
+
+  SpecSweepOptions resume = base_options(1);
+  resume.seed_base = 1234;
+  resume.journal_path = path_;
+  resume.resume = true;
+  const auto got = run_spec_sweep(resume);
+  for (const auto& point : got) EXPECT_TRUE(point.exec.resumed);
+  expect_bitwise_equal(got, want, "resume after fresh overwrite");
+}
+
+}  // namespace
+}  // namespace dtn::harness

@@ -1,0 +1,201 @@
+// Journal framing and recovery (harness/journal.hpp): round-trips,
+// longest-valid-prefix replay, corrupt/truncated tails, truncate_file and
+// durable_replace — the primitives the crash-safe sweep layer builds on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/journal.hpp"
+
+namespace dtn::harness {
+namespace {
+
+/// Unique-ish scratch path under the build tree's cwd; removed on setup
+/// and teardown so reruns are clean.
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string("journal_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".dtnj";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  void write_raw(const std::string& bytes, bool append = false) {
+    std::FILE* f = std::fopen(path_.c_str(), append ? "ab" : "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  std::string path_;
+};
+
+TEST_F(JournalTest, WriterRoundTripsRecords) {
+  const std::vector<std::string> payloads = {
+      "header line", "point 0 ok", "", "binary \x01\x02\xff bytes",
+      std::string("embedded\0nul", 12)};
+  {
+    JournalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path_, &error)) << error;
+    for (const auto& p : payloads) ASSERT_TRUE(writer.append(p));
+    EXPECT_FALSE(writer.failed());
+  }
+  const JournalReadResult replay = read_journal(path_);
+  EXPECT_FALSE(replay.missing);
+  EXPECT_FALSE(replay.io_error);
+  EXPECT_FALSE(replay.tail_dropped());
+  ASSERT_EQ(replay.records.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(replay.records[i], payloads[i]) << "record " << i;
+  }
+}
+
+TEST_F(JournalTest, MissingFileIsMissingNotError) {
+  const JournalReadResult replay = read_journal(path_);
+  EXPECT_TRUE(replay.missing);
+  EXPECT_FALSE(replay.io_error);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.valid_bytes, 0u);
+}
+
+TEST_F(JournalTest, AppendReopensAtEnd) {
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(path_, nullptr));
+    ASSERT_TRUE(writer.append("first"));
+  }
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(path_, nullptr));
+    EXPECT_GT(writer.bytes(), 0u) << "open must report pre-existing length";
+    ASSERT_TRUE(writer.append("second"));
+  }
+  const JournalReadResult replay = read_journal(path_);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0], "first");
+  EXPECT_EQ(replay.records[1], "second");
+}
+
+TEST_F(JournalTest, TornFinalWriteDropsOnlyTheTail) {
+  const std::string full =
+      frame_record("alpha") + frame_record("beta") + frame_record("gamma");
+  // Cut mid-way through the last record.
+  const std::string torn =
+      full.substr(0, full.size() - frame_record("gamma").size() / 2);
+  write_raw(torn);
+  const JournalReadResult replay = read_journal(path_);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0], "alpha");
+  EXPECT_EQ(replay.records[1], "beta");
+  EXPECT_TRUE(replay.tail_dropped());
+  EXPECT_EQ(replay.valid_bytes,
+            frame_record("alpha").size() + frame_record("beta").size());
+  EXPECT_EQ(replay.valid_bytes + replay.dropped_bytes, torn.size());
+}
+
+TEST_F(JournalTest, ChecksumMismatchEndsTheReplay) {
+  std::string data = frame_record("alpha") + frame_record("beta");
+  // Flip one payload bit inside "beta" (the last byte before its trailing
+  // newline).
+  data[data.size() - 2] ^= 0x40;
+  data += frame_record("gamma");  // intact but unreachable behind the damage
+  write_raw(data);
+  const JournalReadResult replay = read_journal(path_);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0], "alpha");
+  EXPECT_TRUE(replay.tail_dropped());
+}
+
+TEST_F(JournalTest, GarbageFileYieldsNoRecords) {
+  write_raw("this was never a journal\n");
+  const JournalReadResult replay = read_journal(path_);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.valid_bytes, 0u);
+  EXPECT_TRUE(replay.tail_dropped());
+}
+
+TEST_F(JournalTest, BadFramingVariantsAllStopCleanly) {
+  // Each case must yield zero records, not crash or mis-parse.
+  const std::string good = frame_record("x");
+  const std::vector<std::string> bad = {
+      "%DTNJ1 ",                         // magic then EOF
+      "%DTNJ1 12",                       // length then EOF
+      "%DTNJ1 1 zzzzzzzz\nx\n",          // non-hex crc
+      "%DTNJ1 1 ABCDEF01\nx\n",          // uppercase crc (spec says lowercase)
+      "%DTNJ1  1 00000000\nx\n",         // double space
+      "%DTNJ1 999999999999999999 00000000\n",  // absurd length
+      good.substr(0, good.size() - 1),   // missing trailing newline
+  };
+  for (const auto& variant : bad) {
+    write_raw(variant);
+    const JournalReadResult replay = read_journal(path_);
+    EXPECT_TRUE(replay.records.empty()) << "variant: " << variant;
+  }
+}
+
+TEST_F(JournalTest, TruncateFileCutsToExactLength) {
+  const std::string a = frame_record("alpha");
+  write_raw(a + "partial garbage tail");
+  ASSERT_TRUE(truncate_file(path_, a.size()));
+  const JournalReadResult replay = read_journal(path_);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_FALSE(replay.tail_dropped());
+  // Appending after the truncation extends the valid prefix.
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open(path_, nullptr));
+  ASSERT_TRUE(writer.append("beta"));
+  writer.close();
+  const JournalReadResult again = read_journal(path_);
+  ASSERT_EQ(again.records.size(), 2u);
+  EXPECT_EQ(again.records[1], "beta");
+}
+
+TEST_F(JournalTest, SyncEveryZeroStillFlushes) {
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open(path_, nullptr));
+  writer.set_sync_every(0);
+  ASSERT_TRUE(writer.append("no fsync, still flushed"));
+  // Read WITHOUT closing the writer: the flush must have pushed the
+  // record to the OS.
+  const JournalReadResult replay = read_journal(path_);
+  ASSERT_EQ(replay.records.size(), 1u);
+  writer.close();
+}
+
+TEST_F(JournalTest, DurableReplacePublishesAndRemovesTmp) {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("final contents", f);
+    std::fclose(f);
+  }
+  std::string error;
+  ASSERT_TRUE(durable_replace(tmp, path_, &error)) << error;
+  std::FILE* gone = std::fopen(tmp.c_str(), "rb");
+  EXPECT_EQ(gone, nullptr) << "tmp must not survive the rename";
+  if (gone != nullptr) std::fclose(gone);
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t got = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, got), "final contents");
+}
+
+TEST_F(JournalTest, DurableReplaceFailsLoudlyOnMissingTmp) {
+  std::string error;
+  EXPECT_FALSE(durable_replace(path_ + ".tmp", path_, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dtn::harness

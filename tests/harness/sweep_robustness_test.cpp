@@ -1,0 +1,207 @@
+// Per-point failure isolation, retry, timeout, and the exception-context
+// fix: a failing sweep point must either name itself in the rethrown
+// error (fail-fast mode) or be recorded failed-with-reason while the rest
+// of the campaign completes (isolate_failures).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "harness/spec_io.hpp"
+#include "harness/sweep.hpp"
+
+namespace dtn::harness {
+namespace {
+
+ScenarioSpec tiny_spec() {
+  return parse_spec(
+      "scenario.name = robustness\n"
+      "scenario.duration = 600\n"
+      "scenario.seed = 7\n"
+      "map.kind = open_field\n"
+      "map.width = 120\n"
+      "map.height = 120\n"
+      "group.walkers.model = random_waypoint\n"
+      "group.walkers.count = 8\n"
+      "group.walkers.speed_min = 1\n"
+      "group.walkers.speed_max = 3\n"
+      "world.radio_range = 40\n"
+      "protocol.name = EER\n"
+      "protocol.copies = 4\n"
+      "communities.count = 2\n"
+      "traffic.interval_min = 20\n"
+      "traffic.interval_max = 30\n");
+}
+
+SpecSweepOptions two_point_options() {
+  SpecSweepOptions opt;
+  opt.base = tiny_spec();
+  opt.axes = {{"protocol.copies", {"2", "4"}}};
+  opt.seeds = 2;
+  opt.threads = 1;
+  return opt;
+}
+
+TEST(SweepRobustness, FailFastErrorNamesThePoint) {
+  // The satellite fix: before it, the pool surfaced the bare what() with
+  // no clue which of the grid's runs died.
+  SweepFaultPlan fault;
+  fault.action = SweepFaultPlan::Action::kThrow;
+  fault.point = 1;
+  fault.fires = 1000;
+  SpecSweepOptions opt = two_point_options();
+  opt.fault_plan = &fault;
+  try {
+    run_spec_sweep(opt);
+    FAIL() << "expected the injected fault to propagate";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("protocol.copies=4"), std::string::npos) << what;
+    EXPECT_NE(what.find("seed="), std::string::npos) << what;
+    EXPECT_NE(what.find("injected fault"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepRobustness, FailFastErrorNamesThePointAcrossThreads) {
+  SweepFaultPlan fault;
+  fault.action = SweepFaultPlan::Action::kThrow;
+  fault.point = 0;
+  fault.fires = 1000;
+  SpecSweepOptions opt = two_point_options();
+  opt.threads = 3;
+  opt.fault_plan = &fault;
+  try {
+    run_spec_sweep(opt);
+    FAIL() << "expected the injected fault to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("protocol.copies=2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepRobustness, IsolationRecordsTheFailureAndFinishesTheRest) {
+  SweepFaultPlan fault;
+  fault.action = SweepFaultPlan::Action::kThrow;
+  fault.point = 0;
+  fault.fires = 1000;
+  SpecSweepOptions opt = two_point_options();
+  opt.isolate_failures = true;
+  opt.fault_plan = &fault;
+  const auto results = run_spec_sweep(opt);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].exec.ok());
+  EXPECT_NE(results[0].exec.error.find("injected fault"), std::string::npos);
+  EXPECT_EQ(results[0].result.delivery_ratio.count(), 0u)
+      << "a failed point must not fold partial samples";
+  EXPECT_TRUE(results[1].exec.ok());
+  EXPECT_EQ(results[1].result.delivery_ratio.count(), 2u);
+  EXPECT_GT(results[1].result.contacts.mean(), 0.0);
+}
+
+TEST(SweepRobustness, RetriesRecoverATransientFailure) {
+  // fires=1: the first attempt of point 1 throws, the retry succeeds.
+  SweepFaultPlan fault;
+  fault.action = SweepFaultPlan::Action::kThrow;
+  fault.point = 1;
+  fault.fires = 1;
+  SpecSweepOptions opt = two_point_options();
+  opt.retries = 2;
+  opt.fault_plan = &fault;
+
+  // No isolation needed: the retry succeeds, so nothing propagates.
+  const auto results = run_spec_sweep(opt);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[1].exec.ok());
+  // seeds attempts + 1 failed first attempt.
+  EXPECT_EQ(results[1].exec.tries, opt.seeds + 1);
+  EXPECT_EQ(results[0].exec.tries, opt.seeds);
+  EXPECT_EQ(results[1].result.delivery_ratio.count(), 2u);
+
+  // Retried point aggregates match an undisturbed run bit-for-bit (the
+  // retry reruns the same spec + seed on the same warm runner).
+  SpecSweepOptions clean = two_point_options();
+  const auto want = run_spec_sweep(clean);
+  EXPECT_EQ(results[1].result.delivery_ratio.mean(),
+            want[1].result.delivery_ratio.mean());
+  EXPECT_EQ(results[1].result.contacts.mean(), want[1].result.contacts.mean());
+}
+
+TEST(SweepRobustness, RetriesExhaustedReportsAttemptCount) {
+  SweepFaultPlan fault;
+  fault.action = SweepFaultPlan::Action::kThrow;
+  fault.point = 0;
+  fault.fires = 1000;
+  SpecSweepOptions opt = two_point_options();
+  opt.retries = 2;
+  opt.isolate_failures = true;
+  opt.fault_plan = &fault;
+  const auto results = run_spec_sweep(opt);
+  EXPECT_FALSE(results[0].exec.ok());
+  // Every seed burned 1 + retries attempts.
+  EXPECT_EQ(results[0].exec.tries, opt.seeds * (1 + opt.retries));
+}
+
+TEST(SweepRobustness, TimeoutAbandonsAHungPoint) {
+  // Point 0's attempts stall 1500 ms against a 100 ms budget: the watchdog
+  // abandons them, the point records a timeout, and point 1 still
+  // completes on the worker's replacement runner.
+  SweepFaultPlan fault;
+  fault.action = SweepFaultPlan::Action::kHang;
+  fault.point = 0;
+  fault.hang_ms = 1500;
+  fault.fires = 1000;
+  SpecSweepOptions opt = two_point_options();
+  opt.point_timeout_s = 0.1;
+  opt.isolate_failures = true;
+  opt.fault_plan = &fault;
+  const auto results = run_spec_sweep(opt);
+  EXPECT_FALSE(results[0].exec.ok());
+  EXPECT_NE(results[0].exec.error.find("timed out"), std::string::npos)
+      << results[0].exec.error;
+  EXPECT_TRUE(results[1].exec.ok());
+  EXPECT_EQ(results[1].result.delivery_ratio.count(), 2u);
+
+  // The timed-out attempts' helper threads are detached and still hold
+  // their runners; outlive them before the test exits so the sanitizer
+  // sweep sees no in-flight allocations.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+}
+
+TEST(SweepRobustness, TimeoutGenerousEnoughChangesNothing) {
+  // A timeout that never fires must not perturb the aggregates — the
+  // watchdog path runs the same spec on the same runner.
+  SpecSweepOptions plain = two_point_options();
+  const auto want = run_spec_sweep(plain);
+  SpecSweepOptions guarded = two_point_options();
+  guarded.point_timeout_s = 300.0;
+  const auto got = run_spec_sweep(guarded);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].result.delivery_ratio.mean(),
+              want[i].result.delivery_ratio.mean());
+    EXPECT_EQ(got[i].result.latency.mean(), want[i].result.latency.mean());
+    EXPECT_EQ(got[i].result.contacts.mean(), want[i].result.contacts.mean());
+  }
+}
+
+TEST(SweepRobustness, IsolatedFailuresAppearInTheJsonSchema) {
+  SweepFaultPlan fault;
+  fault.action = SweepFaultPlan::Action::kThrow;
+  fault.point = 0;
+  fault.fires = 1000;
+  SpecSweepOptions opt = two_point_options();
+  opt.isolate_failures = true;
+  opt.fault_plan = &fault;
+  const auto results = run_spec_sweep(opt);
+  const std::string json = sweep_results_json(opt, results);
+  EXPECT_NE(json.find("\"failed_points\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos) << json;
+  EXPECT_NE(json.find("injected fault"), std::string::npos) << json;
+  // Volatile execution metadata stays on `"exec`-substring lines — the
+  // filterability contract the crash-equivalence tooling relies on.
+  EXPECT_NE(json.find("\"execution\""), std::string::npos);
+  EXPECT_NE(json.find("\"exec\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtn::harness

@@ -2,9 +2,10 @@
 // express, runnable from a ONE-style config file with no C++ involved.
 //
 //   dtnsim run scenario.cfg [--set key=value]... [--seeds N]
-//   dtnsim sweep scenario.cfg --axis protocol.name=EER,CR \
+//   dtnsim sweep scenario.cfg --axis protocol.name=EER,CR
 //                             --axis scenario.nodes=40,80 [--seeds N] [--threads T]
-//                             [--out results.json]
+//                             [--out results.json] [--resume] [--journal J]
+//                             [--retries N] [--point-timeout S] [--sync-every N]
 //   dtnsim print scenario.cfg [--set key=value]...   # resolved canonical config
 //   dtnsim check scenario.cfg                        # parse + validate, report diagnostics
 //   dtnsim list                                      # registered protocols/models/maps
@@ -15,12 +16,26 @@
 // aggregated results as machine-readable JSON (stable "dtnsim-sweep/1"
 // schema, see harness/sweep.hpp). Scenario-file grammar and the key
 // vocabulary live in harness/spec_io.hpp and README.md.
+//
+// Crash safety: a sweep with `--out` (or an explicit `--journal`) streams
+// every completed point into an append-only checksummed journal
+// (`<out>.journal`), so a killed campaign keeps everything it finished;
+// `--resume` replays the journal and recomputes only the missing points —
+// final aggregates are bit-identical to an uninterrupted run (pinned by
+// the dtnsim_crash_resume ctest). Worker failures never kill a campaign:
+// a throwing or timed-out point is retried up to `--retries` times, then
+// recorded failed-with-reason and summarized loudly at the end (exit 1;
+// the journal is kept so `--resume` retries exactly the failed points).
+// `--fault action@trigger` is the deterministic crash-injection hook the
+// recovery tests drive (e.g. kill@point=2, kill@bytes=800,
+// hang@point=0:ms=2000, throw@point=1:fires=3) — test-only, not for ops.
 #include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <string>
 #include <vector>
 
+#include "harness/journal.hpp"
 #include "harness/spec_io.hpp"
 #include "harness/sweep.hpp"
 #include "util/flags.hpp"
@@ -38,7 +53,8 @@ int usage() {
                "                       [--threads T] [--quiet]\n"
                "  sweep <scenario.cfg> [--axis k=v1,v2,..]... [--set k=v]...\n"
                "                       [--seeds N] [--seed-base B] [--threads T] [--quiet]\n"
-               "                       [--out results.json]\n"
+               "                       [--out results.json] [--journal J] [--resume]\n"
+               "                       [--retries N] [--point-timeout S] [--sync-every N]\n"
                "  print <scenario.cfg> [--set k=v]...\n"
                "  check <scenario.cfg>\n"
                "  list\n");
@@ -67,6 +83,78 @@ bool get_int_flag(const util::Flags& flags, const std::string& name,
     return false;
   }
   return true;
+}
+
+/// Strict double flag read (same policy as get_int_flag).
+bool get_double_flag(const util::Flags& flags, const std::string& name,
+                     double fallback, double lo, double hi, double& out) {
+  out = fallback;
+  if (!flags.has(name)) return true;
+  const std::string raw = flags.get_string(name, "");
+  if (!util::parse_value(raw, out)) {
+    std::fprintf(stderr, "dtnsim: bad value '%s' for --%s (number expected)\n",
+                 raw.c_str(), name.c_str());
+    return false;
+  }
+  if (out < lo || out > hi) {
+    std::fprintf(stderr, "dtnsim: --%s %s out of range [%g, %g]\n", name.c_str(),
+                 raw.c_str(), lo, hi);
+    return false;
+  }
+  return true;
+}
+
+/// Parses the test-only `--fault action@trigger[:k=v...]` spec into a
+/// SweepFaultPlan: actions throw|hang|kill; triggers point=N or (kill
+/// only) bytes=M; modifiers ms=M (hang stall) and fires=N (activation
+/// cap). Returns false after a diagnostic on anything malformed.
+bool parse_fault_spec(const std::string& text, harness::SweepFaultPlan& plan) {
+  const auto fail = [&text] {
+    std::fprintf(stderr,
+                 "dtnsim: bad --fault '%s' (expected action@trigger, e.g. "
+                 "kill@point=2, kill@bytes=800, hang@point=0:ms=2000, "
+                 "throw@point=1:fires=3)\n",
+                 text.c_str());
+    return false;
+  };
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos) return fail();
+  const std::string action = text.substr(0, at);
+  if (action == "throw") {
+    plan.action = harness::SweepFaultPlan::Action::kThrow;
+  } else if (action == "hang") {
+    plan.action = harness::SweepFaultPlan::Action::kHang;
+  } else if (action == "kill") {
+    plan.action = harness::SweepFaultPlan::Action::kKill;
+  } else {
+    return fail();
+  }
+  bool has_trigger = false;
+  std::string rest = text.substr(at + 1);
+  while (!rest.empty()) {
+    const std::size_t colon = rest.find(':');
+    const std::string part = rest.substr(0, colon);
+    rest = colon == std::string::npos ? "" : rest.substr(colon + 1);
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) return fail();
+    const std::string key = part.substr(0, eq);
+    std::int64_t value = 0;
+    if (!util::parse_value(part.substr(eq + 1), value) || value < 0) return fail();
+    if (key == "point") {
+      plan.point = static_cast<std::size_t>(value);
+      has_trigger = true;
+    } else if (key == "bytes" && plan.action == harness::SweepFaultPlan::Action::kKill) {
+      plan.journal_bytes = static_cast<std::uint64_t>(value);
+      has_trigger = true;
+    } else if (key == "ms") {
+      plan.hang_ms = static_cast<int>(value);
+    } else if (key == "fires") {
+      plan.fires = static_cast<int>(value);
+    } else {
+      return fail();
+    }
+  }
+  return has_trigger ? true : fail();
 }
 
 /// Strict flag policy: a misspelled flag must not silently run the
@@ -138,8 +226,9 @@ int cmd_run(const std::string& path, const util::Flags& flags) {
 }
 
 int cmd_sweep(const std::string& path, const util::Flags& flags) {
-  if (!check_flags(flags,
-                   {"set", "axis", "seeds", "seed-base", "threads", "quiet", "out"})) {
+  if (!check_flags(flags, {"set", "axis", "seeds", "seed-base", "threads", "quiet",
+                           "out", "journal", "resume", "retries", "point-timeout",
+                           "sync-every", "fault"})) {
     return usage();
   }
   harness::SpecSweepOptions options;
@@ -158,21 +247,57 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
   std::int64_t seeds = 0;
   std::int64_t seed_base = 0;
   std::int64_t threads = 0;
+  std::int64_t retries = 0;
+  std::int64_t sync_every = 0;
+  double point_timeout = 0.0;
   // seed-base default is the file's scenario.seed, same as `dtnsim run`,
   // so a one-point sweep and a plain run of the same cfg agree.
   if (!get_int_flag(flags, "seeds", 2, 1, INT32_MAX, seeds) ||
       !get_int_flag(flags, "seed-base", static_cast<std::int64_t>(options.base.seed),
                     0, INT64_MAX, seed_base) ||
-      !get_int_flag(flags, "threads", 0, 0, 4096, threads)) {
+      !get_int_flag(flags, "threads", 0, 0, 4096, threads) ||
+      !get_int_flag(flags, "retries", 0, 0, 1000, retries) ||
+      !get_int_flag(flags, "sync-every", 1, 0, INT32_MAX, sync_every) ||
+      !get_double_flag(flags, "point-timeout", 0.0, 0.0, 1e9, point_timeout)) {
     return 2;
   }
   options.seeds = static_cast<int>(seeds);
   options.seed_base = static_cast<std::uint64_t>(seed_base);
   options.threads = static_cast<std::size_t>(threads);
+  options.retries = static_cast<int>(retries);
+  options.sync_every = static_cast<int>(sync_every);
+  options.point_timeout_s = point_timeout;
+  // The CLI always isolates worker failures: one bad point out of ten
+  // thousand must cost that point, not the campaign. (Structural errors —
+  // bad axis keys, invalid specs — still fail fast at grid expansion.)
+  options.isolate_failures = true;
+  options.resume = flags.get_bool("resume", false);
+  options.note = [](const std::string& message) {
+    std::fprintf(stderr, "dtnsim: %s\n", message.c_str());
+  };
+  harness::SweepFaultPlan fault_plan;
+  if (flags.has("fault")) {
+    if (!parse_fault_spec(flags.get_string("fault", ""), fault_plan)) return 2;
+    options.fault_plan = &fault_plan;
+  }
   if (!flags.get_bool("quiet", false)) {
     options.progress = [](const std::string& label) {
       std::fprintf(stderr, "  done: %s\n", label.c_str());
     };
+  }
+  // Journal: explicit --journal, else ride alongside --out. Every
+  // completed point streams into it (checksummed, fsync'd per
+  // --sync-every), so a killed campaign resumes with --resume instead of
+  // starting over.
+  const std::string out_path = flags.get_string("out", "");
+  options.journal_path = flags.get_string("journal", "");
+  if (options.journal_path.empty() && !out_path.empty()) {
+    options.journal_path = out_path + ".journal";
+  }
+  if (options.resume && options.journal_path.empty()) {
+    std::fprintf(stderr, "dtnsim: --resume needs --out or --journal to locate "
+                         "the campaign journal\n");
+    return 2;
   }
   // Open --out (via a sibling temp file) before the campaign runs: an
   // unwritable path must fail in seconds, not after hours of simulation
@@ -180,7 +305,6 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
   // results file intact until the new one is complete — a typo'd axis key
   // (which throws inside run_spec_sweep) or a short write (disk full)
   // must not wipe the previous campaign's results.
-  const std::string out_path = flags.get_string("out", "");
   const std::string tmp_path = out_path + ".tmp";
   std::FILE* out_file = nullptr;
   if (!out_path.empty()) {
@@ -204,18 +328,54 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
     }
     throw;
   }
+  std::size_t resumed_points = 0;
+  std::size_t failed_points = 0;
+  for (const auto& point : results) {
+    if (point.exec.resumed) ++resumed_points;
+    if (!point.exec.ok()) ++failed_points;
+  }
+  if (options.resume) {
+    std::printf("resumed %zu completed point(s) from the journal; recomputed %zu\n",
+                resumed_points, results.size() - resumed_points);
+  }
   std::printf("\n%s", harness::sweep_table(results).to_string().c_str());
   if (out_file != nullptr) {
     const std::string json = harness::sweep_results_json(options, results);
     const bool wrote = std::fputs(json.c_str(), out_file) != EOF;
     const bool closed = std::fclose(out_file) == 0;
-    if (!wrote || !closed || std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
-      std::fprintf(stderr, "dtnsim: error writing '%s'\n", out_path.c_str());
+    std::string publish_error;
+    // durable_replace fsyncs the data AND the directory around the rename:
+    // a results file must never be lost to the page cache after the
+    // campaign that produced it survived crashes on purpose.
+    if (!wrote || !closed ||
+        !harness::durable_replace(tmp_path, out_path, &publish_error)) {
+      std::fprintf(stderr, "dtnsim: error writing '%s'%s%s\n", out_path.c_str(),
+                   publish_error.empty() ? "" : ": ", publish_error.c_str());
       std::remove(tmp_path.c_str());
       return 1;
     }
     std::printf("wrote %s\n", out_path.c_str());
   }
+  // Loud end-of-campaign failure summary (the journal keeps the failed
+  // records, so `--resume` retries exactly these points).
+  if (failed_points != 0) {
+    std::fprintf(stderr, "dtnsim: %zu point(s) FAILED:\n", failed_points);
+    for (const auto& point : results) {
+      if (point.exec.ok()) continue;
+      const std::string label = point.overrides.empty() ? "(single point)"
+                                                        : point.label();
+      std::fprintf(stderr, "  %s: %s (after %d attempt(s))\n", label.c_str(),
+                   point.exec.error.c_str(), point.exec.tries);
+    }
+    if (!options.journal_path.empty()) {
+      std::fprintf(stderr, "dtnsim: journal kept at '%s'; rerun with --resume "
+                           "to retry the failed points\n",
+                   options.journal_path.c_str());
+    }
+    return 1;
+  }
+  // Fully successful campaign: the results file supersedes the journal.
+  if (!options.journal_path.empty()) std::remove(options.journal_path.c_str());
   return 0;
 }
 
