@@ -17,6 +17,11 @@
 // heap allocations per seed for a World::reseed()-driven campaign vs
 // building a fresh World per seed (same workload, same step counts).
 //
+// A third section times the hub-load matrix campaign: a spec-driven sweep
+// whose workload engages the multi-schedule traffic generator (per-group
+// matrix entries + on-off profile), with a fatal bit-identical replay
+// cross-check between executions.
+//
 // Results land in BENCH_sweep.json (committed at the repo root).
 //
 // Flags: --trials N (A/B repetitions, default 3; best-of wins),
@@ -91,6 +96,72 @@ harness::SweepOptions campaign(bool smoke, int seeds, double duration_s) {
   opt.base.traffic.interval_min = 10.0;
   opt.base.traffic.interval_max = 20.0;
   return opt;
+}
+
+/// The hub-load campaign: the matrix-workload shape (commuter -> hub flows
+/// gated by an on-off profile, heterogeneous per-group protocols) swept
+/// over fleet size through the declarative spec-sweep engine — measures
+/// campaign throughput with the multi-schedule traffic generator engaged.
+harness::SpecSweepOptions hub_campaign(bool smoke, int seeds, double duration_s) {
+  harness::SpecSweepOptions opt;
+  harness::ScenarioSpec& spec = opt.base;
+  spec.name = "hub_load";
+  spec.duration_s = smoke ? 200.0 : duration_s;
+  spec.map.kind = "open_field";
+  spec.map.params.width = 900.0;
+  spec.map.params.height = 900.0;
+
+  harness::GroupSpec commuters;
+  commuters.name = "commuters";
+  commuters.model = "community";
+  commuters.count = 12;  // overlaid per point
+  commuters.params.community.home_prob = 0.85;
+  spec.groups.push_back(std::move(commuters));
+  harness::GroupSpec hub;
+  hub.name = "hub";
+  hub.model = "stationary";
+  hub.count = 4;
+  hub.protocol = "Epidemic";
+  hub.params.stationary.margin = 250.0;
+  spec.groups.push_back(std::move(hub));
+
+  spec.world.radio_range = 60.0;
+  spec.protocol.name = "SprayAndWait";
+  spec.protocol.copies = 6;
+  spec.traffic.ttl = smoke ? 100.0 : 150.0;
+  spec.traffic.profile = sim::TrafficProfile::kOnOff;
+  spec.traffic.on_s = 90.0;
+  spec.traffic.off_s = 60.0;
+  spec.traffic_matrix = {
+      harness::TrafficEntrySpec{"commuters", "hub", 10.0, 20.0, 25 * 1024, 3.0},
+      harness::TrafficEntrySpec{"commuters", "commuters", 20.0, 40.0, 10240, 1.0}};
+
+  opt.axes = {harness::SweepAxis{
+      "group.commuters.count",
+      smoke ? std::vector<std::string>{"12"} : std::vector<std::string>{"20", "40"}}};
+  opt.seeds = smoke ? 2 : seeds;
+  opt.seed_base = 1000;
+  opt.threads = 1;
+  return opt;
+}
+
+bool identical_spec_aggregates(const std::vector<harness::SpecPointResult>& a,
+                               const std::vector<harness::SpecPointResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].overrides != b[i].overrides) return false;
+    for (const auto metric :
+         {harness::Metric::kDeliveryRatio, harness::Metric::kLatency,
+          harness::Metric::kGoodput, harness::Metric::kControlMb,
+          harness::Metric::kRelayed}) {
+      if (harness::metric_value(a[i].result, metric) !=
+          harness::metric_value(b[i].result, metric)) {
+        return false;
+      }
+    }
+    if (a[i].result.contacts.mean() != b[i].result.contacts.mean()) return false;
+  }
+  return true;
 }
 
 double run_campaign(const harness::SweepOptions& opt,
@@ -255,7 +326,39 @@ int main(int argc, char** argv) {
               reused_allocs_per_step, alloc.fresh_allocs_per_seed);
   std::fflush(stdout);
 
-  char buf[2048];
+  // Hub-load matrix campaign: spec-sweep throughput with the multi-
+  // schedule workload generator (matrix entries + on-off profile +
+  // per-group protocols), cross-checked for bit-identical replay.
+  const harness::SpecSweepOptions hub_opt = bench::hub_campaign(smoke, seeds, duration);
+  const std::size_t hub_points = hub_opt.axes[0].values.size();
+  const std::size_t hub_runs = hub_points * static_cast<std::size_t>(hub_opt.seeds);
+  double hub_best = 1e300;
+  std::vector<harness::SpecPointResult> hub_first;
+  std::vector<harness::SpecPointResult> hub_again;
+  for (int t = 0; t < trials + 1; ++t) {  // >= 2 executions for the replay check
+    const auto h0 = std::chrono::steady_clock::now();
+    auto results = harness::run_spec_sweep(hub_opt);
+    const auto h1 = std::chrono::steady_clock::now();
+    hub_best = std::min(hub_best, std::chrono::duration<double>(h1 - h0).count());
+    if (t == 0) {
+      hub_first = std::move(results);
+    } else {
+      hub_again = std::move(results);
+    }
+  }
+  if (!bench::identical_spec_aggregates(hub_first, hub_again)) {
+    std::fprintf(stderr,
+                 "FATAL: hub-load campaign aggregates diverged between "
+                 "executions — the matrix workload is not deterministic\n");
+    return 1;
+  }
+  const double hub_rps = static_cast<double>(hub_runs) / hub_best;
+  const double hub_pps = static_cast<double>(hub_points) / hub_best;
+  std::printf("hub-load %6.2f runs/s (%6.2f points/s) | replay bit-identical\n",
+              hub_rps, hub_pps);
+  std::fflush(stdout);
+
+  char buf[4096];
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
@@ -270,14 +373,18 @@ int main(int argc, char** argv) {
       "  \"speedup\": %.2f,\n"
       "  \"aggregates_identical\": true,\n"
       "  \"allocs_per_reused_seed\": {\"nodes\": %d, \"steps\": %d, "
-      "\"reused\": %.1f, \"reused_per_step\": %.4f, \"fresh\": %.0f}\n"
+      "\"reused\": %.1f, \"reused_per_step\": %.4f, \"fresh\": %.0f},\n"
+      "  \"hub_load\": {\"campaign\": \"matrix+onoff commuter->hub spec sweep "
+      "over group.commuters.count, threads=1\", \"runs\": %zu,\n"
+      "    \"hub_runs_per_sec\": %.3f, \"hub_points_per_sec\": %.3f, "
+      "\"replay_identical\": true}\n"
       "}\n",
       reused_opt.protocols.size(), reused_opt.node_counts.size(),
       reused_opt.seeds, reused_opt.base.duration_s, runs, trials, legacy_rps,
       reused_rps, static_cast<double>(points) / legacy_best,
       static_cast<double>(points) / reused_best, speedup, alloc_nodes, alloc_steps,
       alloc.reused_allocs_per_seed, reused_allocs_per_step,
-      alloc.fresh_allocs_per_seed);
+      alloc.fresh_allocs_per_seed, hub_runs, hub_rps, hub_pps);
 
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fputs(buf, f);

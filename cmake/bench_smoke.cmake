@@ -44,4 +44,5 @@ require_fields(BENCH_world_step.json
 require_fields(BENCH_sweep.json
                bench campaign runs legacy_runs_per_sec reused_runs_per_sec
                legacy_points_per_sec reused_points_per_sec
-               speedup aggregates_identical allocs_per_reused_seed)
+               speedup aggregates_identical allocs_per_reused_seed
+               hub_load hub_runs_per_sec hub_points_per_sec)

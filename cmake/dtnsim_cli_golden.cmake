@@ -4,6 +4,9 @@
 #   - `check` on a cfg with unknown keys — the line-numbered nearest-key
 #     suggestion output, exit 1;
 #   - `check` on a cfg with unparsable values — exit 1;
+#   - `check` on cfgs whose traffic section fails validation (inverted
+#     interval; full_ttl_window with ttl >= duration) — exit 1 with the
+#     explanatory diagnostic;
 #   - `run` on a missing file — exit 1;
 #   - `check` on EVERY shipped examples/*.cfg — exit 0 with its golden
 #     summary line (a new example cfg must ship
@@ -67,6 +70,12 @@ golden_case("check unknown_key.cfg" ${CLI_DIR} 1
 golden_case("check bad_value.cfg" ${CLI_DIR} 1
             "" check_bad_value.stderr
             check bad_value.cfg)
+golden_case("check bad_traffic.cfg" ${CLI_DIR} 1
+            "" check_bad_traffic.stderr
+            check bad_traffic.cfg)
+golden_case("check bad_ttl_window.cfg" ${CLI_DIR} 1
+            "" check_bad_ttl_window.stderr
+            check bad_ttl_window.cfg)
 golden_case("run missing file" ${CLI_DIR} 1
             "" run_missing_file.stderr
             run nosuch.cfg)

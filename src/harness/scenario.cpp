@@ -1,8 +1,12 @@
 #include "harness/scenario.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "harness/spec_io.hpp"
@@ -43,8 +47,98 @@ std::string detection_cache_key(const ScenarioSpec& spec) {
   key.full_ttl_window = false;
   key.protocol = routing::ProtocolConfig{};
   key.traffic = sim::TrafficParams{};
+  key.traffic_matrix.clear();
+  key.traffic_file.clear();
   for (auto& group : key.groups) group.protocol.clear();
   return to_config(key);
+}
+
+/// Loads a trace-driven workload (`traffic.profile = trace`). Line format:
+///   time src dst [size_bytes [ttl]]
+/// with `#` comments; times must be non-decreasing and node ids must fit
+/// the spec's node count. Throws std::invalid_argument with path:line
+/// context — check-style loudness, never a silent empty workload.
+std::shared_ptr<const std::vector<sim::TraceMessage>> load_traffic_trace(
+    const std::string& path, int node_count) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot read traffic.file '" + path + "'");
+  }
+  auto fail = [&path](int line, const std::string& what) -> void {
+    throw std::invalid_argument("traffic.file " + path + ":" +
+                                std::to_string(line) + ": " + what);
+  };
+  auto trace = std::make_shared<std::vector<sim::TraceMessage>>();
+  std::string raw;
+  int line_no = 0;
+  double prev_time = 0.0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream fields(raw);
+    sim::TraceMessage tm;
+    if (!(fields >> tm.time)) continue;  // blank/comment-only line
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    if (!(fields >> src >> dst)) fail(line_no, "expected 'time src dst'");
+    fields >> tm.size_bytes >> tm.ttl;  // optional; 0 = TrafficParams default
+    if (!(tm.time >= 0.0)) fail(line_no, "time must be >= 0");
+    if (tm.time < prev_time) fail(line_no, "times must be non-decreasing");
+    prev_time = tm.time;
+    if (src < 0 || src >= node_count || dst < 0 || dst >= node_count) {
+      fail(line_no, "node ids must be in [0, " + std::to_string(node_count) + ")");
+    }
+    if (src == dst) fail(line_no, "src and dst must differ");
+    if (tm.size_bytes < 0) fail(line_no, "size_bytes must be > 0");
+    if (tm.ttl < 0.0) fail(line_no, "ttl must be > 0");
+    tm.src = static_cast<sim::NodeIdx>(src);
+    tm.dst = static_cast<sim::NodeIdx>(dst);
+    trace->push_back(tm);
+  }
+  if (trace->empty()) {
+    throw std::invalid_argument("traffic.file '" + path + "' has no messages");
+  }
+  return trace;
+}
+
+/// Resolves the spec-level traffic section (group-name matrix entries,
+/// trace file, full-TTL window) into the sim-level TrafficParams the
+/// World consumes. Group node ranges follow declaration order, exactly
+/// like add_nodes does.
+sim::TrafficParams resolve_traffic(const ScenarioSpec& spec) {
+  sim::TrafficParams traffic = spec.traffic;
+  if (spec.full_ttl_window) {
+    // min(), not overwrite: a user-set traffic.stop tighter than
+    // duration - TTL must survive (the pre-fix code clobbered it).
+    traffic.stop = std::min(traffic.stop, spec.duration_s - traffic.ttl);
+  }
+  traffic.matrix.clear();
+  traffic.matrix.reserve(spec.traffic_matrix.size());
+  for (const auto& e : spec.traffic_matrix) {
+    sim::TrafficMatrixEntry m;
+    int first = 0;
+    for (const auto& g : spec.groups) {
+      if (g.name == e.src) {
+        m.src_first = static_cast<sim::NodeIdx>(first);
+        m.src_count = static_cast<sim::NodeIdx>(g.count);
+      }
+      if (g.name == e.dst) {
+        m.dst_first = static_cast<sim::NodeIdx>(first);
+        m.dst_count = static_cast<sim::NodeIdx>(g.count);
+      }
+      first += g.count;
+    }
+    m.interval_min = e.interval_min;
+    m.interval_max = e.interval_max;
+    m.size_bytes = e.size_bytes;
+    m.weight = e.weight;
+    traffic.matrix.push_back(m);
+  }
+  if (traffic.profile == sim::TrafficProfile::kTrace) {
+    traffic.trace = load_traffic_trace(spec.traffic_file, spec.node_count());
+  }
+  return traffic;
 }
 
 }  // namespace
@@ -143,11 +237,7 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
                                static_cast<int>(spec.groups.size()));
   }
 
-  sim::TrafficParams traffic = spec.traffic;
-  if (spec.full_ttl_window) {
-    traffic.stop = spec.duration_s - traffic.ttl;
-  }
-  world.set_traffic(traffic);
+  world.set_traffic(resolve_traffic(spec));
   world.run(spec.duration_s);
 
   ScenarioResult result;

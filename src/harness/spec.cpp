@@ -9,6 +9,7 @@
 #include "mobility/bus_movement.hpp"
 #include "mobility/trace_playback.hpp"
 #include "sim/world.hpp"
+#include "util/value_parse.hpp"
 
 namespace dtn::harness {
 
@@ -173,6 +174,101 @@ void trace_add_nodes(sim::World& world, const GroupBuildContext& ctx,
   }
 }
 
+/// The traffic section of validate_spec: interval/size/ttl/window sanity
+/// for the scalar knobs and every matrix entry, profile parameters, and
+/// matrix entries naming real groups. Pre-spec these were never checked —
+/// a reversed interval fed Pcg32::uniform a backwards range silently.
+void validate_traffic(const ScenarioSpec& spec) {
+  const sim::TrafficParams& t = spec.traffic;
+  auto check_intervals = [](const std::string& prefix, double lo, double hi) {
+    if (lo < 0.0) {
+      throw std::invalid_argument(prefix + "interval_min must be >= 0 (got " +
+                                  util::format_value(lo) + ")");
+    }
+    if (!(hi > 0.0)) {
+      throw std::invalid_argument(prefix + "interval_max must be > 0 (got " +
+                                  util::format_value(hi) + ")");
+    }
+    if (lo > hi) {
+      throw std::invalid_argument(prefix + "interval_min (" + util::format_value(lo) +
+                                  ") must be <= " + prefix + "interval_max (" +
+                                  util::format_value(hi) + ")");
+    }
+  };
+  check_intervals("traffic.", t.interval_min, t.interval_max);
+  if (!(t.ttl > 0.0)) {
+    throw std::invalid_argument("traffic.ttl must be > 0 (got " +
+                                util::format_value(t.ttl) + ")");
+  }
+  if (t.size_bytes <= 0) {
+    throw std::invalid_argument("traffic.size_bytes must be > 0 (got " +
+                                util::format_value(t.size_bytes) + ")");
+  }
+  if (t.start > t.stop) {
+    throw std::invalid_argument("traffic.start (" + util::format_value(t.start) +
+                                ") must be <= traffic.stop (" +
+                                util::format_value(t.stop) + ")");
+  }
+  if (spec.full_ttl_window && t.ttl >= spec.duration_s) {
+    // Pre-fix this silently produced a negative creation window and a run
+    // with zero messages (delivery_ratio = 0 with no hint why).
+    throw std::invalid_argument(
+        "scenario.full_ttl_window with traffic.ttl (" + util::format_value(t.ttl) +
+        ") >= scenario.duration (" + util::format_value(spec.duration_s) +
+        ") leaves no creation window — lower the TTL, extend the run, or set "
+        "scenario.full_ttl_window = false");
+  }
+  if (t.profile == sim::TrafficProfile::kOnOff) {
+    if (!(t.on_s > 0.0)) {
+      throw std::invalid_argument("traffic.profile = onoff requires traffic.on > 0");
+    }
+    if (t.off_s < 0.0) {
+      throw std::invalid_argument("traffic.off must be >= 0 (got " +
+                                  util::format_value(t.off_s) + ")");
+    }
+  }
+  if (t.profile == sim::TrafficProfile::kDiurnal && !(t.period_s > 0.0)) {
+    throw std::invalid_argument("traffic.profile = diurnal requires traffic.period > 0");
+  }
+  if (t.profile == sim::TrafficProfile::kTrace) {
+    if (spec.traffic_file.empty()) {
+      throw std::invalid_argument("traffic.profile = trace requires traffic.file");
+    }
+    if (!spec.traffic_matrix.empty()) {
+      throw std::invalid_argument(
+          "traffic.profile = trace replays traffic.file verbatim and cannot be "
+          "combined with traffic.<src>.<dst> matrix entries");
+    }
+  }
+  for (std::size_t i = 0; i < spec.traffic_matrix.size(); ++i) {
+    const TrafficEntrySpec& e = spec.traffic_matrix[i];
+    const std::string prefix = "traffic." + e.src + "." + e.dst + ".";
+    for (const std::string* name : {&e.src, &e.dst}) {
+      bool known = false;
+      for (const auto& g : spec.groups) known = known || g.name == *name;
+      if (!known) {
+        throw std::invalid_argument("traffic." + e.src + "." + e.dst +
+                                    ": unknown group '" + *name + "'");
+      }
+    }
+    check_intervals(prefix, e.interval_min, e.interval_max);
+    if (e.size_bytes <= 0) {
+      throw std::invalid_argument(prefix + "size_bytes must be > 0 (got " +
+                                  util::format_value(e.size_bytes) + ")");
+    }
+    if (!(e.weight > 0.0)) {
+      throw std::invalid_argument(prefix + "weight must be > 0 (got " +
+                                  util::format_value(e.weight) + ")");
+    }
+    for (std::size_t j = i + 1; j < spec.traffic_matrix.size(); ++j) {
+      if (spec.traffic_matrix[j].src == e.src && spec.traffic_matrix[j].dst == e.dst) {
+        throw std::invalid_argument("duplicate traffic matrix entry traffic." +
+                                    e.src + "." + e.dst);
+      }
+    }
+  }
+}
+
 std::vector<GroupBuilder>& registry() {
   static std::vector<GroupBuilder> builders{
       {"bus", bus_assign_communities, bus_add_nodes,
@@ -208,6 +304,48 @@ std::string community_source_list() {
     joined += s;
   }
   return joined;
+}
+
+std::vector<std::string> traffic_profile_names() {
+  return {"uniform", "onoff", "diurnal", "trace"};
+}
+
+std::string traffic_profile_list() {
+  std::string joined;
+  for (const auto& s : traffic_profile_names()) {
+    if (!joined.empty()) joined += " | ";
+    joined += s;
+  }
+  return joined;
+}
+
+bool parse_traffic_profile(const std::string& name, sim::TrafficProfile& out) {
+  if (name == "uniform") {
+    out = sim::TrafficProfile::kUniform;
+  } else if (name == "onoff") {
+    out = sim::TrafficProfile::kOnOff;
+  } else if (name == "diurnal") {
+    out = sim::TrafficProfile::kDiurnal;
+  } else if (name == "trace") {
+    out = sim::TrafficProfile::kTrace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string traffic_profile_name(sim::TrafficProfile profile) {
+  switch (profile) {
+    case sim::TrafficProfile::kUniform:
+      return "uniform";
+    case sim::TrafficProfile::kOnOff:
+      return "onoff";
+    case sim::TrafficProfile::kDiurnal:
+      return "diurnal";
+    case sim::TrafficProfile::kTrace:
+      return "trace";
+  }
+  return "uniform";
 }
 
 routing::ProtocolConfig resolved_protocol(const ScenarioSpec& spec,
@@ -306,6 +444,7 @@ void validate_spec(const ScenarioSpec& spec) {
   if (!routing::is_known_protocol(spec.protocol.name)) {
     throw std::invalid_argument("unknown protocol '" + spec.protocol.name + "'");
   }
+  validate_traffic(spec);
 }
 
 }  // namespace dtn::harness

@@ -88,6 +88,30 @@ std::vector<std::string> community_source_names();
 /// and the parser's bad-value diagnostic so the two messages cannot drift.
 std::string community_source_list();
 
+/// One `traffic.<src>.<dst>.*` flow: src/dst are GROUP NAMES (resolved to
+/// node-index ranges at build time, in group declaration order). Entries
+/// keep declaration order, which is also their RNG-stream index — so a
+/// config edit that appends an entry never perturbs existing schedules.
+struct TrafficEntrySpec {
+  std::string src;
+  std::string dst;
+  double interval_min = 25.0;
+  double interval_max = 35.0;
+  std::int64_t size_bytes = 25 * 1024;
+  double weight = 1.0;
+};
+
+/// The valid `traffic.profile` vocabulary, in documentation order.
+std::vector<std::string> traffic_profile_names();
+
+/// The same vocabulary as one "a | b | c" string (see community_source_list).
+std::string traffic_profile_list();
+
+/// Name <-> enum mapping for `traffic.profile`. parse returns false on an
+/// unknown name; name() is total over the enum.
+bool parse_traffic_profile(const std::string& name, sim::TrafficProfile& out);
+std::string traffic_profile_name(sim::TrafficProfile profile);
+
 struct ScenarioSpec {
   std::string name = "scenario";
   double duration_s = 10000.0;
@@ -99,7 +123,15 @@ struct ScenarioSpec {
   MapSpec map;
   std::vector<GroupSpec> groups;
   sim::WorldConfig world;      ///< radio/world (seed overlaid from `seed`)
+  /// Scalar traffic knobs incl. profile; the scalar interval/size fields
+  /// drive the implicit network-wide flow only when traffic_matrix is
+  /// empty. `traffic.matrix`/`traffic.trace` are build products — the
+  /// spec-level forms are traffic_matrix / traffic_file below.
   sim::TrafficParams traffic;
+  /// `traffic.<src>.<dst>.*` flows by group name (empty = network-wide).
+  std::vector<TrafficEntrySpec> traffic_matrix;
+  /// `traffic.file`: the trace replayed when traffic.profile = trace.
+  std::string traffic_file;
   routing::ProtocolConfig protocol;  ///< `communities` filled at build time
   CommunitySpec communities;
 
@@ -171,7 +203,9 @@ routing::ProtocolConfig resolved_protocol(const ScenarioSpec& spec,
 
 /// Validates spec consistency beyond per-key parsing (at least one group,
 /// known model/map/protocol names incl. per-group overrides, model/map
-/// compatibility, communities source vocabulary). Throws
+/// compatibility, communities source vocabulary, the traffic section:
+/// interval/ttl/size/window sanity, profile parameters, matrix entries
+/// naming real groups, full_ttl_window leaving a creation window). Throws
 /// std::invalid_argument with an explanatory message.
 void validate_spec(const ScenarioSpec& spec);
 

@@ -152,7 +152,58 @@ std::string traffic_key(ScenarioSpec& spec, const std::string& key,
   if (key == "stop") return set_num(t.stop, "traffic.stop", value);
   if (key == "size_bytes") return set_num(t.size_bytes, "traffic.size_bytes", value);
   if (key == "ttl") return set_num(t.ttl, "traffic.ttl", value);
-  return std::string("__unknown__");
+  if (key == "profile") {
+    if (!parse_traffic_profile(value, t.profile)) {
+      return "bad value '" + value + "' for traffic.profile (" +
+             traffic_profile_list() + ")";
+    }
+    return "";
+  }
+  if (key == "on") return set_num(t.on_s, "traffic.on", value);
+  if (key == "off") return set_num(t.off_s, "traffic.off", value);
+  if (key == "period") return set_num(t.period_s, "traffic.period", value);
+  if (key == "phase") return set_num(t.phase_s, "traffic.phase", value);
+  if (key == "file") {
+    spec.traffic_file = value;
+    return "";
+  }
+  // Matrix entries: traffic.<src>.<dst>.<param>. Group names are vetted by
+  // validate_spec, not here — the canonical form serializes the traffic
+  // section before any group declaration.
+  const auto d1 = key.find('.');
+  const auto d2 = d1 == std::string::npos ? std::string::npos : key.find('.', d1 + 1);
+  if (d2 == std::string::npos || d1 == 0 || d2 == d1 + 1 || d2 + 1 == key.size()) {
+    return std::string("__unknown__");
+  }
+  const std::string src = key.substr(0, d1);
+  const std::string dst = key.substr(d1 + 1, d2 - d1 - 1);
+  const std::string param = key.substr(d2 + 1);
+  if (param != "interval_min" && param != "interval_max" && param != "size_bytes" &&
+      param != "weight") {
+    // Vet the param BEFORE find-or-create so a typo cannot leave a stray
+    // entry behind in the spec.
+    return "unknown key 'traffic." + key +
+           "' (matrix entry keys: interval_min, interval_max, size_bytes, weight)";
+  }
+  TrafficEntrySpec* entry = nullptr;
+  for (auto& e : spec.traffic_matrix) {
+    if (e.src == src && e.dst == dst) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    TrafficEntrySpec e;
+    e.src = src;
+    e.dst = dst;
+    spec.traffic_matrix.push_back(std::move(e));
+    entry = &spec.traffic_matrix.back();
+  }
+  const std::string full = "traffic." + key;
+  if (param == "interval_min") return set_num(entry->interval_min, full, value);
+  if (param == "interval_max") return set_num(entry->interval_max, full, value);
+  if (param == "size_bytes") return set_num(entry->size_bytes, full, value);
+  return set_num(entry->weight, full, value);
 }
 
 std::string protocol_key(ScenarioSpec& spec, const std::string& key,
@@ -344,6 +395,8 @@ std::vector<std::string> spec_key_names(const ScenarioSpec& spec) {
       "world.legacy_movement_path", "world.legacy_pair_sweep",
       "traffic.interval_min", "traffic.interval_max", "traffic.start",
       "traffic.stop",        "traffic.size_bytes", "traffic.ttl",
+      "traffic.profile",     "traffic.on",        "traffic.off",
+      "traffic.period",      "traffic.phase",     "traffic.file",
       "protocol.name",       "protocol.copies",   "protocol.alpha",
       "protocol.window",
       "communities.source",  "communities.count", "communities.warmup"};
@@ -352,6 +405,11 @@ std::vector<std::string> spec_key_names(const ScenarioSpec& spec) {
     kv.clear();
     kind->emit(spec.map.params, kv);
     for (const auto& [k, v] : kv) keys.push_back("map." + k);
+  }
+  for (const auto& e : spec.traffic_matrix) {
+    for (const char* param : {"interval_min", "interval_max", "size_bytes", "weight"}) {
+      keys.push_back("traffic." + e.src + "." + e.dst + "." + param);
+    }
   }
   for (const auto& g : spec.groups) {
     keys.push_back("group." + g.name + ".model");
@@ -437,6 +495,22 @@ std::string to_config(const ScenarioSpec& spec) {
   out << "traffic.stop = " << util::format_value(t.stop) << "\n";
   out << "traffic.size_bytes = " << util::format_value(t.size_bytes) << "\n";
   out << "traffic.ttl = " << util::format_value(t.ttl) << "\n";
+  out << "traffic.profile = " << traffic_profile_name(t.profile) << "\n";
+  out << "traffic.on = " << util::format_value(t.on_s) << "\n";
+  out << "traffic.off = " << util::format_value(t.off_s) << "\n";
+  out << "traffic.period = " << util::format_value(t.period_s) << "\n";
+  out << "traffic.phase = " << util::format_value(t.phase_s) << "\n";
+  // Engaged-only, like group.<g>.protocol: the empty string means "no
+  // trace file", which is not a serializable value.
+  if (!spec.traffic_file.empty()) out << "traffic.file = " << spec.traffic_file << "\n";
+  // Matrix entries in declaration order (= their RNG-stream index).
+  for (const auto& e : spec.traffic_matrix) {
+    const std::string prefix = "traffic." + e.src + "." + e.dst + ".";
+    out << prefix << "interval_min = " << util::format_value(e.interval_min) << "\n";
+    out << prefix << "interval_max = " << util::format_value(e.interval_max) << "\n";
+    out << prefix << "size_bytes = " << util::format_value(e.size_bytes) << "\n";
+    out << prefix << "weight = " << util::format_value(e.weight) << "\n";
+  }
 
   const routing::ProtocolConfig& p = spec.protocol;
   out << "\nprotocol.name = " << p.name << "\n";

@@ -1,23 +1,131 @@
 #include "sim/traffic.hpp"
 
+#include <cmath>
 #include <limits>
 
 namespace dtn::sim {
 
-TrafficGenerator::TrafficGenerator(TrafficParams params, util::Pcg32 rng,
-                                   NodeIdx node_count) {
-  reset(params, rng, node_count);
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// True when the entry can never produce a message: an empty range, or a
+/// single-node src range equal to a single-node dst range (src must
+/// differ from dst). Generalizes the old network-wide `node_count < 2`.
+bool dead_entry(const TrafficMatrixEntry& e) noexcept {
+  return e.src_count <= 0 || e.dst_count <= 0 ||
+         (e.src_count == 1 && e.dst_count == 1 && e.src_first == e.dst_first);
 }
 
-void TrafficGenerator::reset(TrafficParams params, util::Pcg32 rng,
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(const TrafficParams& params, std::uint64_t seed,
+                                   NodeIdx node_count) {
+  reset(params, seed, node_count);
+}
+
+void TrafficGenerator::reset(const TrafficParams& params, std::uint64_t seed,
                              NodeIdx node_count) {
-  params_ = params;
-  rng_ = rng;
+  params_ = params;  // vector/shared_ptr members reuse capacity on re-reset
   node_count_ = node_count;
-  next_time_ = params_.start +
-               rng_.uniform(params_.interval_min, params_.interval_max);
-  if (next_time_ > params_.stop || node_count_ < 2) {
-    next_time_ = std::numeric_limits<double>::infinity();
+  trace_cursor_ = 0;
+
+  if (params_.profile == TrafficProfile::kTrace) {
+    schedules_.clear();
+    heap_.clear();
+    next_time_ = kInf;
+    if (!params_.trace) return;
+    const auto& trace = *params_.trace;
+    while (trace_cursor_ < trace.size() &&
+           trace[trace_cursor_].time < params_.start) {
+      ++trace_cursor_;
+    }
+    if (trace_cursor_ < trace.size() &&
+        trace[trace_cursor_].time <= params_.stop) {
+      next_time_ = trace[trace_cursor_].time;
+    }
+    return;
+  }
+
+  implicit_ = TrafficMatrixEntry{};
+  implicit_.src_first = 0;
+  implicit_.src_count = node_count_;
+  implicit_.dst_first = 0;
+  implicit_.dst_count = node_count_;
+  implicit_.interval_min = params_.interval_min;
+  implicit_.interval_max = params_.interval_max;
+  implicit_.size_bytes = params_.size_bytes;
+
+  const std::size_t entries = params_.matrix.empty() ? 1 : params_.matrix.size();
+  schedules_.resize(entries);
+  heap_.resize(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    // Per-entry streams keyed by spec entry index: adding or emptying one
+    // entry never perturbs another entry's schedule, and the implicit
+    // entry (index 0) is the exact pre-matrix network-wide stream.
+    schedules_[i].rng = util::derive_stream(seed, static_cast<std::uint64_t>(i),
+                                            util::StreamPurpose::kTraffic);
+    schedules_[i].next_time = advance(i, params_.start);
+  }
+  // Bottom-up heapify over the schedule indices (deterministic tie-break
+  // on index via heap_before).
+  for (std::size_t i = 0; i < entries; ++i) {
+    heap_[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = entries / 2; i-- > 0;) sift_down(i);
+  next_time_ = schedules_[heap_[0]].next_time;
+}
+
+const TrafficMatrixEntry& TrafficGenerator::entry(std::size_t idx) const noexcept {
+  return params_.matrix.empty() ? implicit_ : params_.matrix[idx];
+}
+
+double TrafficGenerator::shift_to_on_window(double t) const noexcept {
+  const double period = params_.on_s + params_.off_s;
+  if (!(params_.off_s > 0.0) || !(period > 0.0)) return t;
+  double local = std::fmod(t - params_.phase_s, period);
+  if (local < 0.0) local += period;
+  if (local < params_.on_s) return t;
+  return t + (period - local);  // defer to the next window start
+}
+
+double TrafficGenerator::advance(std::size_t idx, double from) {
+  const TrafficMatrixEntry& e = entry(idx);
+  if (dead_entry(e)) return kInf;
+  Schedule& s = schedules_[idx];
+  double t = from;
+  for (;;) {
+    // weight 1 divides by exactly 1.0 — bit-neutral for legacy configs.
+    t += s.rng.uniform(e.interval_min, e.interval_max) / e.weight;
+    if (params_.profile == TrafficProfile::kOnOff) t = shift_to_on_window(t);
+    if (t > params_.stop) return kInf;  // stop itself is still generated
+    if (params_.profile != TrafficProfile::kDiurnal) return t;
+    // Diurnal thinning: accept with raised-cosine intensity peaking at
+    // phase + period/2 (the "midday" of each cycle).
+    const double intensity =
+        0.5 * (1.0 - std::cos(kTwoPi * (t - params_.phase_s) / params_.period_s));
+    if (s.rng.bernoulli(intensity)) return t;
+  }
+}
+
+bool TrafficGenerator::heap_before(std::uint32_t a, std::uint32_t b) const noexcept {
+  const double ta = schedules_[a].next_time;
+  const double tb = schedules_[b].next_time;
+  return ta < tb || (ta == tb && a < b);
+}
+
+void TrafficGenerator::sift_down(std::size_t pos) noexcept {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = pos;
+    const std::size_t left = 2 * pos + 1;
+    const std::size_t right = left + 1;
+    if (left < n && heap_before(heap_[left], heap_[best])) best = left;
+    if (right < n && heap_before(heap_[right], heap_[best])) best = right;
+    if (best == pos) return;
+    std::swap(heap_[pos], heap_[best]);
+    pos = best;
   }
 }
 
@@ -25,17 +133,56 @@ Message TrafficGenerator::pop(MsgId id) {
   Message m;
   m.id = id;
   m.created = next_time_;
-  m.ttl = params_.ttl;
-  m.size_bytes = params_.size_bytes;
-  m.src = static_cast<NodeIdx>(rng_.uniform_int(0, node_count_ - 1));
-  // Distinct destination: draw from the remaining n-1 ids.
-  auto d = static_cast<NodeIdx>(rng_.uniform_int(0, node_count_ - 2));
-  m.dst = d >= m.src ? d + 1 : d;
 
-  next_time_ += rng_.uniform(params_.interval_min, params_.interval_max);
-  if (next_time_ > params_.stop) {
-    next_time_ = std::numeric_limits<double>::infinity();
+  if (params_.profile == TrafficProfile::kTrace) {
+    const TraceMessage& tm = (*params_.trace)[trace_cursor_++];
+    m.src = tm.src;
+    m.dst = tm.dst;
+    m.size_bytes = tm.size_bytes > 0 ? tm.size_bytes : params_.size_bytes;
+    m.ttl = tm.ttl > 0.0 ? tm.ttl : params_.ttl;
+    const auto& trace = *params_.trace;
+    next_time_ = (trace_cursor_ < trace.size() &&
+                  trace[trace_cursor_].time <= params_.stop)
+                     ? trace[trace_cursor_].time
+                     : kInf;
+    return m;
   }
+
+  const std::uint32_t idx = heap_[0];
+  Schedule& s = schedules_[idx];
+  const TrafficMatrixEntry& e = entry(idx);
+  m.ttl = params_.ttl;
+  m.size_bytes = e.size_bytes;
+  if (e.dst_count == 1) {
+    // Fixed destination: when it sits inside the src range, draw src from
+    // the remaining src_count - 1 ids instead (dead_entry rules out the
+    // src_count == 1 case).
+    m.dst = e.dst_first;
+    if (m.dst >= e.src_first && m.dst < e.src_first + e.src_count) {
+      const auto d = static_cast<NodeIdx>(s.rng.uniform_int(0, e.src_count - 2));
+      const NodeIdx rel = m.dst - e.src_first;
+      m.src = e.src_first + (d >= rel ? d + 1 : d);
+    } else {
+      m.src = e.src_first +
+              static_cast<NodeIdx>(s.rng.uniform_int(0, e.src_count - 1));
+    }
+  } else {
+    m.src = e.src_first +
+            static_cast<NodeIdx>(s.rng.uniform_int(0, e.src_count - 1));
+    if (m.src >= e.dst_first && m.src < e.dst_first + e.dst_count) {
+      // Distinct destination: draw from the remaining dst_count - 1 ids.
+      const auto d = static_cast<NodeIdx>(s.rng.uniform_int(0, e.dst_count - 2));
+      const NodeIdx rel = m.src - e.dst_first;
+      m.dst = e.dst_first + (d >= rel ? d + 1 : d);
+    } else {
+      m.dst = e.dst_first +
+              static_cast<NodeIdx>(s.rng.uniform_int(0, e.dst_count - 1));
+    }
+  }
+
+  s.next_time = advance(idx, m.created);
+  sift_down(0);
+  next_time_ = schedules_[heap_[0]].next_time;
   return m;
 }
 

@@ -1,34 +1,110 @@
-// Network-wide message generator: one new message every interval drawn
-// uniformly from [interval_min, interval_max], with uniformly random
-// distinct (src, dst). Matches the ONE simulator's default MessageEventGenerator.
+// Spec-driven workload generator. The degenerate configuration (empty
+// matrix, uniform profile) is the ONE simulator's default
+// MessageEventGenerator: one new message every interval drawn uniformly
+// from [interval_min, interval_max], with uniformly random distinct
+// (src, dst) over the whole network — bit-identical to the pre-matrix
+// generator for every existing scenario.
+//
+// Beyond that, three orthogonal extensions:
+//   - per-entry traffic matrices (TrafficParams::matrix): each entry
+//     restricts src/dst draws to resolved node ranges with its own
+//     interval/size/weight, and owns an independent RNG stream derived
+//     from (seed, entry index) — adding an entry never perturbs another
+//     entry's schedule;
+//   - temporal profiles (TrafficParams::profile): on-off gating (events
+//     falling in an off window are deferred to the next window start) and
+//     diurnal thinning (candidates accepted with a raised-cosine
+//     intensity), both per-entry and drawn from the entry's own stream;
+//   - a trace-driven source (kTrace + TrafficParams::trace): replays an
+//     explicit message list, honoring the same start/stop window.
+//
+// Boundary contract: `stop` is INCLUSIVE — a message created exactly at
+// `stop` is still generated; only a schedule strictly past `stop` is
+// exhausted. Every entry and the trace source inherit this one rule.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "sim/message.hpp"
 #include "util/rng.hpp"
 
 namespace dtn::sim {
 
+/// Temporal shape of every schedule (applied per matrix entry).
+enum class TrafficProfile : std::uint8_t {
+  kUniform = 0,  ///< constant-rate (the ONE default)
+  kOnOff,        ///< bursty: on_s seconds active, off_s silent, repeating
+  kDiurnal,      ///< time-of-day: raised-cosine intensity over period_s
+  kTrace,        ///< replay TrafficParams::trace verbatim
+};
+
+/// One resolved src-range -> dst-range flow. Ranges are node-index
+/// intervals (the harness resolves group names to [first, first+count)).
+/// A message draws src uniformly from the src range and dst uniformly
+/// from the dst range minus src (src == dst never happens). An entry with
+/// an empty range — or whose only possible src equals its only possible
+/// dst — generates nothing.
+struct TrafficMatrixEntry {
+  NodeIdx src_first = 0;
+  NodeIdx src_count = 0;
+  NodeIdx dst_first = 0;
+  NodeIdx dst_count = 0;
+  double interval_min = 25.0;  ///< s between this entry's creations
+  double interval_max = 35.0;
+  std::int64_t size_bytes = 25 * 1024;
+  /// Rate multiplier: drawn intervals are divided by weight, so weight 3
+  /// triples the entry's message rate (weight 1 is bit-neutral).
+  double weight = 1.0;
+};
+
+/// One line of a trace-driven workload (kTrace). size_bytes/ttl <= 0 fall
+/// back to the TrafficParams defaults.
+struct TraceMessage {
+  double time = 0.0;
+  NodeIdx src = 0;
+  NodeIdx dst = 0;
+  std::int64_t size_bytes = 0;
+  double ttl = 0.0;
+};
+
 struct TrafficParams {
   double interval_min = 25.0;  ///< s between message creations
   double interval_max = 35.0;
   double start = 0.0;          ///< first message no earlier than this
-  /// Last creation time. The harness sets this to duration - TTL so every
-  /// message has a full TTL window inside the run (see DESIGN.md).
+  /// Last creation time, INCLUSIVE: a message created exactly at `stop`
+  /// is still generated (see header comment). The harness caps this at
+  /// duration - TTL under scenario.full_ttl_window so every message has a
+  /// full TTL window inside the run (see DESIGN.md).
   double stop = 1e18;
   std::int64_t size_bytes = 25 * 1024;  ///< paper: 25 KB packets
   double ttl = 1200.0;                  ///< paper: 20 minutes
+  TrafficProfile profile = TrafficProfile::kUniform;
+  double on_s = 0.0;        ///< kOnOff: active-window length
+  double off_s = 0.0;       ///< kOnOff: silent-window length
+  double period_s = 86400.0;  ///< kDiurnal: intensity period (default 1 day)
+  double phase_s = 0.0;     ///< kOnOff/kDiurnal: window/intensity offset
+  /// Flow matrix; empty = one implicit network-wide entry built from the
+  /// scalar interval/size fields above (the degenerate, ONE-default case).
+  std::vector<TrafficMatrixEntry> matrix;
+  /// kTrace: the replayed message list, sorted by time. Shared so World
+  /// reuse/reseed copies a pointer, not the trace.
+  std::shared_ptr<const std::vector<TraceMessage>> trace;
 };
 
 class TrafficGenerator {
  public:
-  TrafficGenerator(TrafficParams params, util::Pcg32 rng, NodeIdx node_count);
+  /// Entry i draws from util::derive_stream(seed, i, kTraffic); the
+  /// implicit degenerate entry is entry 0, which keeps pre-matrix
+  /// scenarios on the exact stream they always used.
+  TrafficGenerator(const TrafficParams& params, std::uint64_t seed,
+                   NodeIdx node_count);
 
   /// Restarts the schedule in place — identical to constructing a fresh
-  /// generator with the same arguments, but without an allocation (the
-  /// World's cross-seed reuse path).
-  void reset(TrafficParams params, util::Pcg32 rng, NodeIdx node_count);
+  /// generator with the same arguments, but without an allocation once
+  /// capacity matches (the World's cross-seed reuse path).
+  void reset(const TrafficParams& params, std::uint64_t seed, NodeIdx node_count);
 
   /// Time of the next creation event, or +inf when exhausted.
   [[nodiscard]] double next_time() const noexcept { return next_time_; }
@@ -38,10 +114,29 @@ class TrafficGenerator {
   Message pop(MsgId id);
 
  private:
+  /// Per-entry schedule state: its own RNG stream and pending event time.
+  struct Schedule {
+    util::Pcg32 rng;
+    double next_time = 0.0;
+  };
+
+  [[nodiscard]] const TrafficMatrixEntry& entry(std::size_t idx) const noexcept;
+  /// Draws the entry's next event strictly after `from` (profile applied);
+  /// +inf once past stop.
+  double advance(std::size_t idx, double from);
+  /// kOnOff: defers an event in an off window to the next window start.
+  [[nodiscard]] double shift_to_on_window(double t) const noexcept;
+  void sift_down(std::size_t pos) noexcept;
+  [[nodiscard]] bool heap_before(std::uint32_t a, std::uint32_t b) const noexcept;
+
   TrafficParams params_;
-  util::Pcg32 rng_;
-  NodeIdx node_count_;
-  double next_time_;
+  NodeIdx node_count_ = 0;
+  /// The implicit network-wide entry used when params_.matrix is empty.
+  TrafficMatrixEntry implicit_;
+  std::vector<Schedule> schedules_;   ///< one per matrix entry
+  std::vector<std::uint32_t> heap_;   ///< index min-heap by (next_time, idx)
+  std::size_t trace_cursor_ = 0;      ///< kTrace replay position
+  double next_time_ = 0.0;
 };
 
 }  // namespace dtn::sim

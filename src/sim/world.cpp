@@ -97,11 +97,11 @@ void World::set_traffic(const TrafficParams& params) {
   finalize_rebuild();
   traffic_params_ = params;
   has_traffic_ = true;
-  auto rng = util::derive_stream(config_.seed, 0, util::StreamPurpose::kTraffic);
+  // The generator derives one stream per matrix entry from the seed.
   if (traffic_) {
-    traffic_->reset(params, rng, static_cast<NodeIdx>(nodes_.size()));
+    traffic_->reset(params, config_.seed, static_cast<NodeIdx>(nodes_.size()));
   } else {
-    traffic_ = std::make_unique<TrafficGenerator>(params, rng,
+    traffic_ = std::make_unique<TrafficGenerator>(params, config_.seed,
                                                   static_cast<NodeIdx>(nodes_.size()));
   }
 }
@@ -178,9 +178,7 @@ void World::reseed(std::uint64_t seed) {
                       0.0);
   }
   if (has_traffic_) {
-    traffic_->reset(traffic_params_,
-                    util::derive_stream(seed, 0, util::StreamPurpose::kTraffic),
-                    static_cast<NodeIdx>(nodes_.size()));
+    traffic_->reset(traffic_params_, seed, static_cast<NodeIdx>(nodes_.size()));
   }
 }
 

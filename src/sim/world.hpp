@@ -113,7 +113,9 @@ class World {
   NodeIdx add_node(const mobility::StationaryNodeSpec& movement,
                    std::unique_ptr<Router> router);
 
-  /// Installs the network-wide traffic generator (optional; at most one).
+  /// Installs the workload generator (optional; at most one) — the
+  /// degenerate params are the network-wide ONE default; matrix entries,
+  /// temporal profiles, and trace replay per sim/traffic.hpp.
   void set_traffic(const TrafficParams& params);
 
   // ---- cross-run reuse (see header comment) ----

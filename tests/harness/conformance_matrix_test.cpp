@@ -17,8 +17,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "geo/map_registry.hpp"
@@ -306,6 +308,71 @@ TEST(ConformanceMatrix, SweepResultsJsonCarriesTheDocumentedSchema) {
   for (const auto& [open, close] : {std::pair{'{', '}'}, std::pair{'[', ']'}}) {
     EXPECT_EQ(std::count(json.begin(), json.end(), open),
               std::count(json.begin(), json.end(), close));
+  }
+}
+
+/// Traffic-trace fixture for the workload-variant cells: a handful of
+/// messages inside the cell's [0, duration - ttl] creation window.
+std::string traffic_trace_fixture_path() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/conformance_traffic.trace";
+    std::ofstream out(p);
+    out << "# time src dst [size_bytes [ttl]]\n"
+        << "1.0 0 1\n"
+        << "2.0 1 2\n"
+        << "4.5 2 3 4096\n"
+        << "6.0 3 4 0 5\n"
+        << "9.0 4 5\n";
+    return p;
+  }();
+  return path;
+}
+
+TEST(ConformanceMatrix, WorkloadVariantCellsConform) {
+  // The traffic subsystem's whole spec surface — matrix entries, temporal
+  // profiles, trace replay — through the same conformance contract as the
+  // registry cells: round-trip identity, per-seed replay, reused-runner
+  // and parsed-copy bit-identity.
+  const std::vector<std::pair<std::string, void (*)(ScenarioSpec&)>> variants = {
+      {"matrix",
+       [](ScenarioSpec& spec) {
+         GroupSpec relays;
+         relays.name = "relays";
+         relays.model = "stationary";
+         relays.count = 3;
+         relays.params.stationary.margin = 20.0;
+         spec.groups.push_back(std::move(relays));
+         spec.traffic_matrix = {TrafficEntrySpec{"g0", "relays", 1.0, 2.0, 2048, 2.0},
+                                TrafficEntrySpec{"g0", "g0", 2.0, 4.0, 1024, 1.0}};
+       }},
+      {"onoff",
+       [](ScenarioSpec& spec) {
+         spec.traffic.profile = sim::TrafficProfile::kOnOff;
+         spec.traffic.on_s = 6.0;
+         spec.traffic.off_s = 3.0;
+         spec.traffic.phase_s = 1.0;
+       }},
+      {"diurnal",
+       [](ScenarioSpec& spec) {
+         spec.traffic.profile = sim::TrafficProfile::kDiurnal;
+         spec.traffic.interval_min = 0.5;  // keep enough accepted candidates
+         spec.traffic.interval_max = 1.0;
+         spec.traffic.period_s = 10.0;
+         spec.traffic.phase_s = 2.0;
+       }},
+      {"trace",
+       [](ScenarioSpec& spec) {
+         spec.traffic.profile = sim::TrafficProfile::kTrace;
+         spec.traffic_file = traffic_trace_fixture_path();
+       }},
+  };
+  for (const auto& [name, mutate] : variants) {
+    ScenarioSpec spec = cell_spec("open_field", "random_waypoint", "Epidemic", "auto");
+    spec.name = "workload_" + name;
+    mutate(spec);
+    ASSERT_TRUE(spec_is_valid(spec)) << name;
+    check_cell(spec);
+    if (HasFatalFailure()) return;
   }
 }
 

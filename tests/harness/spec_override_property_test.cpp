@@ -57,16 +57,26 @@ std::vector<ScenarioSpec> vocabulary_specs() {
       spec.groups.push_back(std::move(g));
     }
     spec.groups[1].protocol = "Epidemic";  // exercise the override key
+    // Traffic workload vocabulary: an on-off profile plus two matrix
+    // entries, so every traffic.<src>.<dst>.<param> key is serialized.
+    spec.traffic.profile = sim::TrafficProfile::kOnOff;
+    spec.traffic.on_s = 600.0;
+    spec.traffic.off_s = 300.0;
+    spec.traffic_matrix = {TrafficEntrySpec{"buses", "relays", 20.0, 30.0, 4096, 2.0},
+                           TrafficEntrySpec{"walkers", "walkers", 40.0, 60.0, 1024, 1.0}};
     specs.push_back(std::move(spec));
   }
   {
-    ScenarioSpec spec;  // open_field: community
+    ScenarioSpec spec;  // open_field: community (+ diurnal traffic)
     spec.map.kind = "open_field";
     GroupSpec g;
     g.name = "campus";
     g.model = "community";
     g.count = 4;
     spec.groups.push_back(std::move(g));
+    spec.traffic.profile = sim::TrafficProfile::kDiurnal;
+    spec.traffic.period_s = 3600.0;
+    spec.traffic.phase_s = 900.0;
     specs.push_back(std::move(spec));
   }
   {
@@ -78,6 +88,7 @@ std::vector<ScenarioSpec> vocabulary_specs() {
     g.model = "trace";
     g.count = 2;
     spec.groups.push_back(std::move(g));
+    spec.traffic_file = "fixtures/example_traffic.trace";  // engages traffic.file
     specs.push_back(std::move(spec));
   }
   return specs;
@@ -152,6 +163,11 @@ TEST(SpecOverrideProperty, SuggestionVocabularyTracksTheRegistries) {
       EXPECT_TRUE(has(key)) << key << " serialized but not in spec_key_names";
     }
     EXPECT_TRUE(has("communities.warmup"));
+    EXPECT_TRUE(has("traffic.profile"));
+    EXPECT_TRUE(has("traffic.file"));
+    for (const auto& e : base.traffic_matrix) {
+      EXPECT_TRUE(has("traffic." + e.src + "." + e.dst + ".weight"));
+    }
     for (const auto& g : base.groups) {
       EXPECT_TRUE(has("group." + g.name + ".protocol"));
     }
@@ -186,6 +202,10 @@ TEST(SpecOverrideProperty, SeedAxisAndDuplicateAxesStayLoudlyRejected) {
   options.base.duration_s = 20.0;
   options.base.traffic.ttl = 10.0;
   options.base.groups[0].count = 4;
+  EXPECT_NO_THROW(run_spec_sweep(options));
+
+  // Matrix-entry keys are sweepable axes (the bench's hub-load campaign).
+  options.axes = {SweepAxis{"traffic.buses.buses.weight", {"1", "2"}}};
   EXPECT_NO_THROW(run_spec_sweep(options));
 }
 

@@ -57,6 +57,18 @@ ScenarioSpec random_spec(util::Pcg32& rng) {
   spec.traffic.stop = rng.bernoulli(0.5) ? 1e18 : rng.uniform(1000.0, 10000.0);
   spec.traffic.size_bytes = rng.uniform_int(1 << 10, 1 << 20);
   spec.traffic.ttl = rng.uniform(300.0, 3000.0);
+  const std::vector<sim::TrafficProfile> profiles{
+      sim::TrafficProfile::kUniform, sim::TrafficProfile::kOnOff,
+      sim::TrafficProfile::kDiurnal, sim::TrafficProfile::kTrace};
+  spec.traffic.profile = profiles[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  spec.traffic.on_s = rng.uniform(10.0, 1000.0);
+  spec.traffic.off_s = rng.uniform(0.0, 1000.0);
+  spec.traffic.period_s = rng.uniform(100.0, 100000.0);
+  spec.traffic.phase_s = rng.uniform(0.0, 1000.0);
+  if (rng.bernoulli(0.3)) {
+    spec.traffic_file =
+        "some/traffic_" + std::to_string(rng.uniform_int(0, 99)) + ".trace";
+  }
 
   const std::vector<std::string> protocols = routing::known_protocols();
   spec.protocol.name =
@@ -91,6 +103,27 @@ ScenarioSpec random_spec(util::Pcg32& rng) {
     group.params.community.pause_max = rng.uniform(5.0, 60.0);
     spec.groups.push_back(std::move(group));
   }
+
+  // Matrix entries over the groups just drawn (distinct (src, dst) pairs;
+  // serialization keeps declaration order).
+  int entries = static_cast<int>(rng.uniform_int(0, 2));
+  if (entries > group_count) entries = group_count;
+  for (int e = 0; e < entries; ++e) {
+    TrafficEntrySpec entry;
+    entry.src = spec.groups[static_cast<std::size_t>(
+                                rng.uniform_int(0, group_count - 1))]
+                    .name;
+    entry.dst = "g" + std::to_string(e);  // e < group_count, so a real group
+    entry.interval_min = rng.uniform(1.0, 20.0);
+    entry.interval_max = entry.interval_min + rng.uniform(0.0, 20.0);
+    entry.size_bytes = rng.uniform_int(1 << 8, 1 << 16);
+    entry.weight = rng.uniform(0.1, 5.0);
+    bool duplicate = false;
+    for (const auto& prior : spec.traffic_matrix) {
+      duplicate = duplicate || (prior.src == entry.src && prior.dst == entry.dst);
+    }
+    if (!duplicate) spec.traffic_matrix.push_back(std::move(entry));
+  }
   return spec;
 }
 
@@ -121,6 +154,20 @@ TEST(SpecRoundtrip, ParsedFieldsMatchOriginal) {
   EXPECT_EQ(parsed.world.buffer_bytes, original.world.buffer_bytes);
   EXPECT_EQ(parsed.world.step_dt, original.world.step_dt);
   EXPECT_EQ(parsed.traffic.ttl, original.traffic.ttl);
+  EXPECT_EQ(parsed.traffic.profile, original.traffic.profile);
+  EXPECT_EQ(parsed.traffic.on_s, original.traffic.on_s);
+  EXPECT_EQ(parsed.traffic.off_s, original.traffic.off_s);
+  EXPECT_EQ(parsed.traffic.period_s, original.traffic.period_s);
+  EXPECT_EQ(parsed.traffic.phase_s, original.traffic.phase_s);
+  EXPECT_EQ(parsed.traffic_file, original.traffic_file);
+  ASSERT_EQ(parsed.traffic_matrix.size(), original.traffic_matrix.size());
+  for (std::size_t e = 0; e < parsed.traffic_matrix.size(); ++e) {
+    EXPECT_EQ(parsed.traffic_matrix[e].src, original.traffic_matrix[e].src);
+    EXPECT_EQ(parsed.traffic_matrix[e].dst, original.traffic_matrix[e].dst);
+    EXPECT_EQ(parsed.traffic_matrix[e].interval_min,
+              original.traffic_matrix[e].interval_min);
+    EXPECT_EQ(parsed.traffic_matrix[e].weight, original.traffic_matrix[e].weight);
+  }
   EXPECT_EQ(parsed.protocol.name, original.protocol.name);
   EXPECT_EQ(parsed.protocol.alpha, original.protocol.alpha);
   EXPECT_EQ(parsed.communities.source, original.communities.source);

@@ -30,7 +30,8 @@ ScenarioSpec tiny_spec() {
       "protocol.copies = 4\n"
       "communities.count = 2\n"
       "traffic.interval_min = 20\n"
-      "traffic.interval_max = 30\n");
+      "traffic.interval_max = 30\n"
+      "traffic.ttl = 300\n");  // full_ttl_window needs ttl < duration
 }
 
 SpecSweepOptions two_point_options() {

@@ -93,6 +93,7 @@ TEST(CommunityScenario, IntraCommunityContactsDominate) {
   p.node_count = 16;
   p.communities = 4;
   p.duration_s = 1200.0;
+  p.traffic.ttl = 600.0;  // full_ttl_window needs ttl < duration
   p.world_size_m = 800.0;
   p.home_prob = 0.9;
   p.world.radio_range = 25.0;

@@ -200,6 +200,50 @@ TEST(AllocRegression, ReusedWorldSeedIsNearAllocationFree) {
       << "reused-world seed regressed to allocating";
 }
 
+TEST(AllocRegression, MatrixWorkloadReseedIsAllocationFree) {
+  // The multi-schedule generator (matrix entries + on-off profile) must
+  // keep World::reseed()'s zero-allocation contract: params_ copy-assign
+  // reuses vector capacity, schedules/heap resize to the same size.
+  WorldConfig config;
+  config.seed = 31;
+  World world(config);
+  mobility::RandomWaypointParams move;
+  move.world_min = {0.0, 0.0};
+  const double side = std::sqrt(120.0 * 60);
+  move.world_max = {side, side};
+  move.speed_min = 2.0;
+  move.speed_max = 14.0;
+  for (int i = 0; i < 60; ++i) {
+    world.add_node(move, std::make_unique<routing::EpidemicRouter>());
+  }
+  TrafficParams traffic;
+  traffic.interval_min = 2.0;
+  traffic.interval_max = 4.0;
+  traffic.profile = TrafficProfile::kOnOff;
+  traffic.on_s = 60.0;
+  traffic.off_s = 30.0;
+  TrafficMatrixEntry flow;
+  flow.src_count = 30;
+  flow.dst_first = 30;
+  flow.dst_count = 30;
+  flow.interval_min = 2.0;
+  flow.interval_max = 4.0;
+  flow.weight = 2.0;
+  TrafficMatrixEntry back = flow;
+  back.src_first = 30;
+  back.dst_first = 0;
+  back.weight = 1.0;
+  traffic.matrix = {flow, back};
+  world.set_traffic(traffic);
+  for (int i = 0; i < 2000; ++i) world.step();
+  world.reseed(32);
+  for (int i = 0; i < 500; ++i) world.step();
+
+  const std::uint64_t reseed_allocs = counted([&] { world.reseed(33); });
+  EXPECT_EQ(reseed_allocs, 0u)
+      << "matrix-workload World::reseed() must recycle, not allocate";
+}
+
 TEST(AllocRegression, ParallelForDispatchIsAllocationFree) {
   // Chunked atomic-counter dispatch: one stack job, no per-task heap
   // closures/futures. Warm the shared pool first (thread creation), build

@@ -149,6 +149,7 @@ TEST(ContactLayerTest, LegacyAndIncrementalPathsAreBitIdentical) {
     harness::BusScenarioParams p;
     p.node_count = 16;
     p.duration_s = 900.0;
+    p.traffic.ttl = 300.0;  // full_ttl_window needs ttl < duration
     p.seed = 5;
     p.map.rows = 5;
     p.map.cols = 6;

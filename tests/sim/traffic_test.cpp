@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
+#include <vector>
 
 namespace dtn::sim {
 namespace {
@@ -17,8 +19,22 @@ TrafficParams params(double lo = 25.0, double hi = 35.0) {
   return p;
 }
 
+TrafficMatrixEntry entry(NodeIdx src_first, NodeIdx src_count, NodeIdx dst_first,
+                         NodeIdx dst_count, double lo = 25.0, double hi = 35.0,
+                         double weight = 1.0) {
+  TrafficMatrixEntry e;
+  e.src_first = src_first;
+  e.src_count = src_count;
+  e.dst_first = dst_first;
+  e.dst_count = dst_count;
+  e.interval_min = lo;
+  e.interval_max = hi;
+  e.weight = weight;
+  return e;
+}
+
 TEST(Traffic, IntervalsWithinBounds) {
-  TrafficGenerator gen(params(), util::Pcg32(1, 1), 10);
+  TrafficGenerator gen(params(), 1, 10);
   double prev = 0.0;
   for (MsgId id = 0; id < 200; ++id) {
     const double t = gen.next_time();
@@ -31,7 +47,7 @@ TEST(Traffic, IntervalsWithinBounds) {
 }
 
 TEST(Traffic, SrcAndDstDistinctAndInRange) {
-  TrafficGenerator gen(params(), util::Pcg32(2, 2), 7);
+  TrafficGenerator gen(params(), 2, 7);
   for (MsgId id = 0; id < 500; ++id) {
     const Message m = gen.pop(id);
     EXPECT_NE(m.src, m.dst);
@@ -43,7 +59,7 @@ TEST(Traffic, SrcAndDstDistinctAndInRange) {
 }
 
 TEST(Traffic, AllPairsEventuallyDrawn) {
-  TrafficGenerator gen(params(), util::Pcg32(3, 3), 4);
+  TrafficGenerator gen(params(), 3, 4);
   std::set<std::pair<NodeIdx, NodeIdx>> seen;
   for (MsgId id = 0; id < 2000; ++id) {
     const Message m = gen.pop(id);
@@ -55,7 +71,7 @@ TEST(Traffic, AllPairsEventuallyDrawn) {
 TEST(Traffic, StopsAtStopTime) {
   TrafficParams p = params();
   p.stop = 100.0;
-  TrafficGenerator gen(p, util::Pcg32(4, 4), 10);
+  TrafficGenerator gen(p, 4, 10);
   int generated = 0;
   while (!std::isinf(gen.next_time())) {
     EXPECT_LE(gen.next_time(), 100.0);
@@ -65,15 +81,31 @@ TEST(Traffic, StopsAtStopTime) {
   EXPECT_LE(generated, 4);  // at most floor(100 / 25) messages
 }
 
+// Pins the boundary contract documented in traffic.hpp: `stop` is
+// INCLUSIVE. With a degenerate interval the schedule lands exactly on
+// stop, and that message must still be generated.
+TEST(Traffic, StopBoundaryIsInclusive) {
+  TrafficParams p = params(10.0, 10.0);  // uniform(10, 10) == exactly 10
+  p.stop = 100.0;
+  TrafficGenerator gen(p, 4, 10);
+  int generated = 0;
+  double last = 0.0;
+  while (!std::isinf(gen.next_time())) {
+    last = gen.pop(generated++).created;
+  }
+  EXPECT_EQ(generated, 10);   // 10, 20, ..., 100
+  EXPECT_EQ(last, 100.0);     // created == stop is generated, bit-exactly
+}
+
 TEST(Traffic, StartDelaysFirstMessage) {
   TrafficParams p = params();
   p.start = 500.0;
-  TrafficGenerator gen(p, util::Pcg32(5, 5), 10);
+  TrafficGenerator gen(p, 5, 10);
   EXPECT_GE(gen.next_time(), 525.0 - 1e-9);
 }
 
 TEST(Traffic, FewerThanTwoNodesGeneratesNothing) {
-  TrafficGenerator gen(params(), util::Pcg32(6, 6), 1);
+  TrafficGenerator gen(params(), 6, 1);
   EXPECT_TRUE(std::isinf(gen.next_time()));
 }
 
@@ -81,15 +113,15 @@ TEST(Traffic, MessageCarriesConfiguredSizeAndTtl) {
   TrafficParams p = params();
   p.size_bytes = 10 * 1024;
   p.ttl = 600.0;
-  TrafficGenerator gen(p, util::Pcg32(7, 7), 5);
+  TrafficGenerator gen(p, 7, 5);
   const Message m = gen.pop(0);
   EXPECT_EQ(m.size_bytes, 10 * 1024);
   EXPECT_DOUBLE_EQ(m.ttl, 600.0);
 }
 
-TEST(Traffic, DeterministicForSameStream) {
-  TrafficGenerator a(params(), util::Pcg32(8, 8), 20);
-  TrafficGenerator b(params(), util::Pcg32(8, 8), 20);
+TEST(Traffic, DeterministicForSameSeed) {
+  TrafficGenerator a(params(), 8, 20);
+  TrafficGenerator b(params(), 8, 20);
   for (MsgId id = 0; id < 100; ++id) {
     const Message ma = a.pop(id);
     const Message mb = b.pop(id);
@@ -97,6 +129,235 @@ TEST(Traffic, DeterministicForSameStream) {
     EXPECT_EQ(ma.src, mb.src);
     EXPECT_EQ(ma.dst, mb.dst);
   }
+}
+
+// reset() must be indistinguishable from constructing fresh with the same
+// arguments — this is the World's cross-seed reuse contract, exercised
+// here with a non-trivial workload (matrix + on-off) and across a
+// capacity change (2 entries -> 1).
+TEST(Traffic, ResetMatchesFreshConstruction) {
+  TrafficParams busy = params(5.0, 15.0);
+  busy.profile = TrafficProfile::kOnOff;
+  busy.on_s = 40.0;
+  busy.off_s = 20.0;
+  busy.matrix = {entry(0, 4, 4, 6, 5.0, 15.0), entry(4, 6, 0, 4, 8.0, 12.0, 2.0)};
+  busy.stop = 5000.0;
+
+  TrafficGenerator reused(busy, 42, 10);
+  for (MsgId id = 0; id < 50; ++id) reused.pop(id);  // dirty the state
+
+  TrafficParams plain = params();
+  plain.stop = 4000.0;
+  reused.reset(plain, 7, 12);
+  TrafficGenerator fresh(plain, 7, 12);
+  for (MsgId id = 0; id < 100; ++id) {
+    ASSERT_DOUBLE_EQ(reused.next_time(), fresh.next_time());
+    const Message mr = reused.pop(id);
+    const Message mf = fresh.pop(id);
+    ASSERT_DOUBLE_EQ(mr.created, mf.created);
+    ASSERT_EQ(mr.src, mf.src);
+    ASSERT_EQ(mr.dst, mf.dst);
+    ASSERT_EQ(mr.size_bytes, mf.size_bytes);
+  }
+}
+
+// An explicit single entry covering the whole network IS the implicit
+// degenerate entry (both are stream index 0) — bit-identical schedules.
+TEST(Traffic, ExplicitWholeNetworkEntryMatchesImplicit) {
+  TrafficParams implicit = params();
+  TrafficParams explicit_p = params();
+  explicit_p.matrix = {entry(0, 9, 0, 9)};
+  explicit_p.matrix[0].size_bytes = explicit_p.size_bytes;
+  TrafficGenerator a(implicit, 11, 9);
+  TrafficGenerator b(explicit_p, 11, 9);
+  for (MsgId id = 0; id < 300; ++id) {
+    const Message ma = a.pop(id);
+    const Message mb = b.pop(id);
+    ASSERT_EQ(ma.created, mb.created);  // bit-exact, not just close
+    ASSERT_EQ(ma.src, mb.src);
+    ASSERT_EQ(ma.dst, mb.dst);
+  }
+}
+
+TEST(Traffic, MatrixRestrictsSrcAndDstRanges) {
+  TrafficParams p = params();
+  p.matrix = {entry(0, 3, 5, 4)};
+  TrafficGenerator gen(p, 12, 10);
+  for (MsgId id = 0; id < 500; ++id) {
+    const Message m = gen.pop(id);
+    EXPECT_GE(m.src, 0);
+    EXPECT_LT(m.src, 3);
+    EXPECT_GE(m.dst, 5);
+    EXPECT_LT(m.dst, 9);
+  }
+}
+
+TEST(Traffic, OverlappingRangesNeverDrawSrcEqualsDst) {
+  TrafficParams p = params();
+  p.matrix = {entry(2, 5, 0, 10)};  // dst range contains the src range
+  TrafficGenerator gen(p, 13, 10);
+  for (MsgId id = 0; id < 1000; ++id) {
+    const Message m = gen.pop(id);
+    EXPECT_NE(m.src, m.dst);
+    EXPECT_GE(m.src, 2);
+    EXPECT_LT(m.src, 7);
+    EXPECT_GE(m.dst, 0);
+    EXPECT_LT(m.dst, 10);
+  }
+}
+
+TEST(Traffic, FixedDestinationInsideSrcRangeExcludesItselfFromSrc) {
+  TrafficParams p = params();
+  p.matrix = {entry(0, 4, 2, 1)};  // everyone -> node 2
+  TrafficGenerator gen(p, 14, 4);
+  std::set<NodeIdx> srcs;
+  for (MsgId id = 0; id < 300; ++id) {
+    const Message m = gen.pop(id);
+    EXPECT_EQ(m.dst, 2);
+    EXPECT_NE(m.src, 2);
+    srcs.insert(m.src);
+  }
+  EXPECT_EQ(srcs, (std::set<NodeIdx>{0, 1, 3}));
+}
+
+TEST(Traffic, SingleSrcSingleDstSameNodeIsDead) {
+  TrafficParams p = params();
+  p.matrix = {entry(3, 1, 3, 1)};
+  TrafficGenerator gen(p, 15, 10);
+  EXPECT_TRUE(std::isinf(gen.next_time()));
+}
+
+// weight w divides drawn intervals by w, so a weight-3 entry delivers
+// three times the messages of a weight-1 entry with the same interval.
+TEST(Traffic, WeightScalesEntryRate) {
+  TrafficParams p = params(10.0, 10.0);
+  p.stop = 10000.0;
+  p.matrix = {entry(0, 2, 2, 2, 10.0, 10.0, 1.0),
+              entry(4, 2, 6, 2, 10.0, 10.0, 3.0)};
+  TrafficGenerator gen(p, 16, 8);
+  int slow = 0;
+  int fast = 0;
+  while (!std::isinf(gen.next_time())) {
+    const Message m = gen.pop(slow + fast);
+    (m.src < 2 ? slow : fast) += 1;
+  }
+  EXPECT_EQ(slow, 1000);        // 10000 / 10 (exact in binary)
+  EXPECT_NEAR(fast, 3000, 1);   // 10000 / (10 / 3), +-1 for fp accumulation
+}
+
+// Two entries landing on the same timestamp pop in entry-index order —
+// the deterministic tie-break the cross-thread bit-identity relies on.
+TEST(Traffic, SimultaneousEntriesPopInIndexOrder) {
+  TrafficParams p = params(10.0, 10.0);
+  p.stop = 25.0;
+  p.matrix = {entry(0, 2, 2, 2, 10.0, 10.0), entry(4, 2, 6, 2, 10.0, 10.0)};
+  TrafficGenerator gen(p, 17, 8);
+  const Message m0 = gen.pop(0);
+  const Message m1 = gen.pop(1);
+  const Message m2 = gen.pop(2);
+  const Message m3 = gen.pop(3);
+  EXPECT_EQ(m0.created, 10.0);
+  EXPECT_LT(m0.src, 2);  // entry 0 first
+  EXPECT_EQ(m1.created, 10.0);
+  EXPECT_GE(m1.src, 4);  // then entry 1
+  EXPECT_EQ(m2.created, 20.0);
+  EXPECT_LT(m2.src, 2);
+  EXPECT_EQ(m3.created, 20.0);
+  EXPECT_GE(m3.src, 4);
+}
+
+// Entry streams are derived from (seed, entry index): appending a second
+// entry must not perturb the first entry's schedule in any way.
+TEST(Traffic, AppendingAnEntryDoesNotPerturbExistingStreams) {
+  TrafficParams one = params();
+  one.matrix = {entry(0, 2, 2, 2)};
+  TrafficParams two = one;
+  two.matrix.push_back(entry(4, 2, 6, 2, 3.0, 7.0));
+  TrafficGenerator a(one, 18, 8);
+  TrafficGenerator b(two, 18, 8);
+  std::vector<Message> from_a;
+  for (MsgId id = 0; id < 100; ++id) from_a.push_back(a.pop(id));
+  std::vector<Message> from_b;
+  for (MsgId id = 0; from_b.size() < 100; ++id) {
+    const Message m = b.pop(id);
+    if (m.src < 2) from_b.push_back(m);  // entry 0's range
+  }
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(from_a[i].created, from_b[i].created);
+    ASSERT_EQ(from_a[i].src, from_b[i].src);
+    ASSERT_EQ(from_a[i].dst, from_b[i].dst);
+  }
+}
+
+TEST(Traffic, OnOffGeneratesOnlyInsideOnWindows) {
+  TrafficParams p = params(5.0, 15.0);
+  p.profile = TrafficProfile::kOnOff;
+  p.on_s = 100.0;
+  p.off_s = 50.0;
+  p.phase_s = 30.0;
+  p.stop = 6000.0;
+  TrafficGenerator gen(p, 19, 10);
+  int generated = 0;
+  while (!std::isinf(gen.next_time())) {
+    const Message m = gen.pop(generated++);
+    double local = std::fmod(m.created - p.phase_s, p.on_s + p.off_s);
+    if (local < 0.0) local += p.on_s + p.off_s;
+    EXPECT_LT(local, p.on_s + 1e-9) << "created " << m.created << " in off window";
+  }
+  EXPECT_GT(generated, 100);
+}
+
+TEST(Traffic, DiurnalConcentratesTrafficAtMidPeriod) {
+  TrafficParams p = params(1.0, 1.0);
+  p.profile = TrafficProfile::kDiurnal;
+  p.period_s = 1000.0;
+  p.stop = 10000.0;
+  TrafficGenerator gen(p, 20, 10);
+  int peak = 0;    // middle half of each period: intensity >= 0.5
+  int trough = 0;  // outer half: intensity < 0.5
+  while (!std::isinf(gen.next_time())) {
+    const Message m = gen.pop(peak + trough);
+    const double local = std::fmod(m.created, p.period_s);
+    (local >= 250.0 && local < 750.0 ? peak : trough) += 1;
+  }
+  EXPECT_GT(peak + trough, 1000);
+  EXPECT_GT(peak, 2 * trough);
+}
+
+TEST(Traffic, TraceReplaysVerbatimWithDefaults) {
+  auto trace = std::make_shared<std::vector<TraceMessage>>();
+  trace->push_back({5.0, 0, 1, 1000, 300.0});
+  trace->push_back({7.5, 2, 3, 0, 0.0});  // size/ttl fall back to params
+  TrafficParams p = params();
+  p.profile = TrafficProfile::kTrace;
+  p.trace = trace;
+  TrafficGenerator gen(p, 21, 4);
+  EXPECT_DOUBLE_EQ(gen.next_time(), 5.0);
+  const Message m0 = gen.pop(0);
+  EXPECT_DOUBLE_EQ(m0.created, 5.0);
+  EXPECT_EQ(m0.src, 0);
+  EXPECT_EQ(m0.dst, 1);
+  EXPECT_EQ(m0.size_bytes, 1000);
+  EXPECT_DOUBLE_EQ(m0.ttl, 300.0);
+  const Message m1 = gen.pop(1);
+  EXPECT_DOUBLE_EQ(m1.created, 7.5);
+  EXPECT_EQ(m1.size_bytes, 25 * 1024);
+  EXPECT_DOUBLE_EQ(m1.ttl, 1200.0);
+  EXPECT_TRUE(std::isinf(gen.next_time()));
+}
+
+TEST(Traffic, TraceHonorsStartStopWindow) {
+  auto trace = std::make_shared<std::vector<TraceMessage>>();
+  for (const double t : {1.0, 5.0, 10.0, 15.0}) trace->push_back({t, 0, 1, 0, 0.0});
+  TrafficParams p = params();
+  p.profile = TrafficProfile::kTrace;
+  p.trace = trace;
+  p.start = 2.0;
+  p.stop = 10.0;  // inclusive: the t == 10 entry is still replayed
+  TrafficGenerator gen(p, 22, 4);
+  EXPECT_DOUBLE_EQ(gen.pop(0).created, 5.0);
+  EXPECT_DOUBLE_EQ(gen.pop(1).created, 10.0);
+  EXPECT_TRUE(std::isinf(gen.next_time()));
 }
 
 }  // namespace
