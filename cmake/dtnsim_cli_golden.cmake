@@ -13,7 +13,20 @@
 #     tests/cli/expected/check_<name>.stdout alongside it);
 #   - `sweep --resume` diagnostics — the no-journal-path usage error, the
 #     missing-journal fresh-start note, the different-campaign refusal,
-#     and the corrupt-tail recovery warning (goldens sweep_resume_*).
+#     and the corrupt-tail recovery warning (goldens sweep_resume_*);
+#   - nonsensical robustness knobs — negative --retries/--sync-every, a
+#     zero --point-timeout, a --shard selector with i >= N or N == 0,
+#     --shard combined with --workers, --workers without a journal anchor —
+#     every one exits 2 (usage/config) with its pinned one-line stderr;
+#   - the exit-code contract the worker supervision loop depends on:
+#     0 = clean campaign, 1 = completed-with-failures (and runtime errors
+#     like a missing file), 2 = usage/config error — each pinned by at
+#     least one case in this file;
+#   - `journal` inspection over the COMMITTED torn-tail fixture
+#     tests/cli/torn.journal (byte counts in the output are only stable
+#     for committed bytes — journal records embed wall-time hexfloats, so
+#     a journal generated at test time would not golden) and over a
+#     missing file.
 # Golden files live in tests/cli/expected/. Commands run with the relevant
 # directory as CWD so goldens contain relative paths only; the resume
 # cases run inside a scratch dir under WORK_DIR so their journals never
@@ -90,6 +103,43 @@ foreach(cfg ${example_cfgs})
               check_${name}.stdout ""
               check examples/${name}.cfg)
 endforeach()
+
+# ---- robustness-knob validation (all exit 2: usage/config errors) -----------
+# The `--flag=-1` spelling is deliberate: it pins that negative values are
+# parsed as values (not mistaken for flags) and then rejected by range.
+golden_case("sweep --retries=-1" ${CLI_DIR} 2
+            "" sweep_bad_retries.stderr
+            sweep resume.cfg --retries=-1)
+golden_case("sweep --sync-every=-1" ${CLI_DIR} 2
+            "" sweep_bad_sync_every.stderr
+            sweep resume.cfg --sync-every=-1)
+golden_case("sweep --point-timeout 0" ${CLI_DIR} 2
+            "" sweep_bad_point_timeout.stderr
+            sweep resume.cfg --point-timeout 0)
+golden_case("sweep --shard 3/3" ${CLI_DIR} 2
+            "" sweep_bad_shard_range.stderr
+            sweep resume.cfg --shard 3/3)
+golden_case("sweep --shard 0/0" ${CLI_DIR} 2
+            "" sweep_bad_shard_zero.stderr
+            sweep resume.cfg --shard 0/0)
+golden_case("sweep --shard with --workers" ${CLI_DIR} 2
+            "" sweep_shard_workers_conflict.stderr
+            sweep resume.cfg --shard 0/2 --workers 2)
+golden_case("sweep --workers without journal anchor" ${CLI_DIR} 2
+            "" sweep_workers_no_out.stderr
+            sweep resume.cfg --workers 2)
+
+# ---- journal inspection ------------------------------------------------------
+# The committed torn-tail fixture: a real two-point campaign journal (one
+# ok record, one failed record) with garbage appended behind the valid
+# prefix. `journal` must report the campaign shape, the torn tail, and the
+# DAMAGED verdict — exit 1. A missing journal is also exit 1.
+golden_case("journal torn fixture" ${CLI_DIR} 1
+            journal_torn.stdout ""
+            journal torn.journal)
+golden_case("journal missing file" ${CLI_DIR} 1
+            "" journal_missing.stderr
+            journal nosuch.journal)
 
 # ---- sweep --resume diagnostics ---------------------------------------------
 # All campaign runs use the tiny tests/cli/resume.cfg fixture and live in a

@@ -220,6 +220,91 @@ bool parse_point_record(const std::string& payload, std::size_t total, int seeds
   return true;
 }
 
+// ---- grid expansion ---------------------------------------------------------
+
+/// The axis cross-product, resolved: one SpecPointResult skeleton + one
+/// validated ScenarioSpec per grid point, in cross-product order (first
+/// axis outermost). Shared by run_spec_sweep and merge_sweep_journals so a
+/// merge labels points (overrides, protocol, nodes) exactly as the run
+/// that produced the journals did.
+struct ExpandedGrid {
+  std::size_t total = 0;
+  std::vector<SpecPointResult> points;
+  std::vector<ScenarioSpec> specs;
+};
+
+ExpandedGrid expand_sweep_grid(const SpecSweepOptions& options) {
+  // An axis with no values yields an empty grid, matching the pre-spec
+  // engine's behavior for empty protocol lists.
+  ExpandedGrid grid;
+  grid.total = 1;
+  for (const auto& axis : options.axes) grid.total *= axis.values.size();
+
+  // The per-task seed overwrites spec.seed below, so a scenario.seed axis
+  // would be silently ignored — reject it instead of lying. Ditto
+  // duplicate axis keys: the later override wins per point, so the grid
+  // would run identical specs under different labels.
+  for (std::size_t i = 0; i < options.axes.size(); ++i) {
+    const std::string& key = options.axes[i].key;
+    if (key == "scenario.seed") {
+      throw SpecError({{0, "scenario.seed cannot be a sweep axis; seeds are the "
+                           "per-point repetition (seeds / seed_base)"}},
+                      "sweep");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (options.axes[j].key == key) {
+        throw SpecError({{0, "duplicate sweep axis '" + key +
+                             "' — the later values would overwrite the earlier "
+                             "ones under the earlier labels"}},
+                        "sweep");
+      }
+    }
+  }
+
+  grid.points.reserve(grid.total);
+  grid.specs.reserve(grid.total);
+  for (std::size_t p = 0; p < grid.total; ++p) {
+    ScenarioSpec spec = options.base;
+    SpecPointResult point;
+    std::size_t stride = grid.total;
+    for (const auto& axis : options.axes) {
+      stride /= axis.values.size();
+      const std::string& value = axis.values[(p / stride) % axis.values.size()];
+      apply_override(spec, axis.key, value);  // throws SpecError on bad key
+      point.overrides.emplace_back(axis.key, value);
+    }
+    // Fail fast at expansion: one structurally invalid grid point must not
+    // abort a campaign mid-flight after hours of finished runs.
+    validate_spec(spec);
+    point.result.protocol = spec.protocol.name;
+    point.result.node_count = spec.node_count();
+    point.result.copies = spec.protocol.copies;
+    point.result.alpha = spec.protocol.alpha;
+    grid.points.push_back(std::move(point));
+    grid.specs.push_back(std::move(spec));
+  }
+  return grid;
+}
+
+/// Validates the shard selector and returns the in-shard predicate: a
+/// deterministic assignment keyed ONLY on the point index, so every
+/// cooperating process (and a later merge) agrees on who owns what
+/// without any coordination.
+std::function<bool(std::size_t)> shard_filter(const SpecSweepOptions& options) {
+  if (options.shard_count == 0) {
+    throw std::invalid_argument(
+        "sweep shard_count must be >= 1 (0/1 selects the whole grid)");
+  }
+  if (options.shard_index >= options.shard_count) {
+    throw std::invalid_argument(
+        "sweep shard_index " + std::to_string(options.shard_index) +
+        " out of range for shard_count " + std::to_string(options.shard_count));
+  }
+  const std::size_t index = options.shard_index;
+  const std::size_t count = options.shard_count;
+  return [index, count](std::size_t point) { return point % count == index; };
+}
+
 // ---- legacy engine ----------------------------------------------------------
 
 struct LegacyTask {
@@ -278,56 +363,15 @@ std::string SpecPointResult::label() const {
 }
 
 std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
-  // Expand the axis cross product into resolved per-point specs (first
-  // axis outermost). An axis with no values yields an empty grid, matching
-  // the pre-spec engine's behavior for empty protocol lists.
-  std::size_t total = 1;
-  for (const auto& axis : options.axes) total *= axis.values.size();
-
-  // The per-task seed overwrites spec.seed below, so a scenario.seed axis
-  // would be silently ignored — reject it instead of lying. Ditto
-  // duplicate axis keys: the later override wins per point, so the grid
-  // would run identical specs under different labels.
-  for (std::size_t i = 0; i < options.axes.size(); ++i) {
-    const std::string& key = options.axes[i].key;
-    if (key == "scenario.seed") {
-      throw SpecError({{0, "scenario.seed cannot be a sweep axis; seeds are the "
-                           "per-point repetition (seeds / seed_base)"}},
-                      "sweep");
-    }
-    for (std::size_t j = 0; j < i; ++j) {
-      if (options.axes[j].key == key) {
-        throw SpecError({{0, "duplicate sweep axis '" + key +
-                             "' — the later values would overwrite the earlier "
-                             "ones under the earlier labels"}},
-                        "sweep");
-      }
-    }
-  }
-
-  std::vector<SpecPointResult> points;
-  std::vector<ScenarioSpec> specs;
-  points.reserve(total);
-  specs.reserve(total);
+  const auto in_shard = shard_filter(options);
+  ExpandedGrid grid = expand_sweep_grid(options);
+  const std::size_t total = grid.total;
+  std::vector<SpecPointResult>& points = grid.points;
+  const std::vector<ScenarioSpec>& specs = grid.specs;
+  // Out-of-shard points are another process's job: never executed, never
+  // journaled, reported kSkipped with empty accumulators.
   for (std::size_t p = 0; p < total; ++p) {
-    ScenarioSpec spec = options.base;
-    SpecPointResult point;
-    std::size_t stride = total;
-    for (const auto& axis : options.axes) {
-      stride /= axis.values.size();
-      const std::string& value = axis.values[(p / stride) % axis.values.size()];
-      apply_override(spec, axis.key, value);  // throws SpecError on bad key
-      point.overrides.emplace_back(axis.key, value);
-    }
-    // Fail fast at expansion: one structurally invalid grid point must not
-    // abort a campaign mid-flight after hours of finished runs.
-    validate_spec(spec);
-    point.result.protocol = spec.protocol.name;
-    point.result.node_count = spec.node_count();
-    point.result.copies = spec.protocol.copies;
-    point.result.alpha = spec.protocol.alpha;
-    points.push_back(std::move(point));
-    specs.push_back(std::move(spec));
+    if (!in_shard(p)) points[p].exec.status = PointExec::Status::kSkipped;
   }
 
   const int seeds = std::max(options.seeds, 0);
@@ -387,7 +431,11 @@ std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
           }
         }
         for (std::size_t p = 0; p < total; ++p) {
-          if (latest[p] == nullptr) continue;
+          // Out-of-shard records can appear when a journal outlives a
+          // change of shard assignment; this invocation ignores them
+          // (its own point census stays kSkipped) rather than adopting
+          // points it does not own.
+          if (latest[p] == nullptr || !in_shard(p)) continue;
           if (!parse_point_record(*latest[p], total, seeds, record)) continue;
           if (!record.exec.ok()) continue;  // failed points are recomputed
           for (const SeedSample& s : record.samples) {
@@ -418,7 +466,7 @@ std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
   std::vector<Task> tasks;
   tasks.reserve(points.size() * static_cast<std::size_t>(seeds));
   for (std::size_t p = 0; p < points.size(); ++p) {
-    if (completed[p]) continue;
+    if (completed[p] || !in_shard(p)) continue;
     for (int s = 0; s < seeds; ++s) {
       tasks.push_back(Task{p, options.seed_base + static_cast<std::uint64_t>(s)});
     }
@@ -444,7 +492,7 @@ std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
   };
   std::vector<PointState> state(total);
   for (std::size_t p = 0; p < total; ++p) {
-    if (!completed[p]) state[p].remaining = seeds;
+    if (!completed[p] && in_shard(p)) state[p].remaining = seeds;
   }
 
   std::mutex book_mutex;  ///< guards PointState, the fold, and the journal
@@ -650,7 +698,143 @@ std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
   }
 
   if (journaling) journal.sync();
-  return points;
+  return std::move(grid.points);
+}
+
+std::vector<SpecPointResult> merge_sweep_journals(
+    const SpecSweepOptions& options, const std::vector<std::string>& journal_paths,
+    SweepMergeStats* stats) {
+  ExpandedGrid grid = expand_sweep_grid(options);
+  const std::size_t total = grid.total;
+  const int seeds = std::max(options.seeds, 0);
+  const std::string header = campaign_fingerprint(options, total);
+
+  SweepMergeStats merged;
+  constexpr std::size_t kNoOwner = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> owner(total, kNoOwner);  ///< journal index per point
+  for (std::size_t j = 0; j < journal_paths.size(); ++j) {
+    const std::string& path = journal_paths[j];
+    const JournalReadResult replay = read_journal(path);
+    if (replay.io_error) {
+      throw SweepJournalError("cannot read shard journal '" + path + "'");
+    }
+    // A shard killed before its header became durable left nothing to
+    // merge — its points surface as missing below, not as a refusal: the
+    // campaign must degrade to failed-with-reason points, not refuse to
+    // publish the shards that survived.
+    if (replay.missing || replay.records.empty()) continue;
+    if (replay.records.front() != header) {
+      throw SweepJournalError(
+          "cannot merge: shard journal '" + path +
+          "' was written by a different campaign (base spec, axes, seeds, or "
+          "seed base differ)");
+    }
+    ++merged.journals_read;
+    // Within ONE journal the last record per point wins — a restarted
+    // shard appended retry records behind the failures they supersede,
+    // exactly like resume. ACROSS journals the same point is refused:
+    // overlapping shards would silently double-count samples, the one
+    // unforgivable merge outcome.
+    std::vector<const std::string*> latest(total, nullptr);
+    ParsedPointRecord record;
+    for (std::size_t r = 1; r < replay.records.size(); ++r) {
+      if (parse_point_record(replay.records[r], total, seeds, record)) {
+        latest[record.idx] = &replay.records[r];
+      }
+    }
+    for (std::size_t p = 0; p < total; ++p) {
+      if (latest[p] == nullptr) continue;
+      if (owner[p] != kNoOwner) {
+        throw SweepJournalError("cannot merge: point " + std::to_string(p) +
+                                " is recorded by both '" + journal_paths[owner[p]] +
+                                "' and '" + path + "' — overlapping shards");
+      }
+      owner[p] = j;
+      if (!parse_point_record(*latest[p], total, seeds, record)) continue;
+      grid.points[p].exec = record.exec;  // parser sets resumed = true
+      if (record.exec.ok()) {
+        // Seed-order fold of the journaled hexfloat samples — the same
+        // fold a live run performs, so the aggregates are bit-identical
+        // to a single-process campaign.
+        for (const SeedSample& s : record.samples) {
+          fold_sample(grid.points[p].result, s);
+        }
+        ++merged.points_ok;
+      } else {
+        ++merged.points_failed;
+      }
+    }
+  }
+  for (std::size_t p = 0; p < total; ++p) {
+    if (owner[p] != kNoOwner) continue;
+    PointExec& exec = grid.points[p].exec;
+    exec.status = PointExec::Status::kFailed;
+    exec.error = "no shard journal recorded this point";
+    ++merged.points_missing;
+  }
+  if (stats != nullptr) *stats = merged;
+  return std::move(grid.points);
+}
+
+JournalInspection inspect_sweep_journal(const std::string& path) {
+  JournalInspection out;
+  const JournalReadResult replay = read_journal(path);
+  out.missing = replay.missing;
+  out.io_error = replay.io_error;
+  out.valid_bytes = replay.valid_bytes;
+  out.dropped_bytes = replay.dropped_bytes;
+  out.records = replay.records.size();
+  if (replay.records.empty()) return out;
+
+  // Campaign fingerprint header: tag line, then
+  // "seeds=N seed_base=B points=P", then one "axis ..." line per axis.
+  const std::vector<std::string> head = split_lines(replay.records.front());
+  if (head.size() < 2 || head[0] != kJournalHeaderTag) return out;
+  std::int64_t seeds = -1;
+  std::int64_t grid_points = -1;
+  std::uint64_t seed_base = 0;
+  for (const std::string& field : split_fields(head[1])) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "seeds") {
+      util::parse_value(value, seeds);
+    } else if (key == "seed_base") {
+      util::parse_value(value, seed_base);
+    } else if (key == "points") {
+      util::parse_value(value, grid_points);
+    }
+  }
+  if (seeds < 0 || grid_points < 0) return out;
+  out.campaign = true;
+  out.seeds = static_cast<int>(seeds);
+  out.seed_base = seed_base;
+  out.grid_points = static_cast<std::size_t>(grid_points);
+  for (std::size_t l = 2; l < head.size(); ++l) {
+    if (head[l].rfind("axis ", 0) == 0) ++out.axes;
+  }
+
+  // Point census: latest record per index wins, like resume and merge.
+  std::vector<char> status(out.grid_points, 0);  // 0 none, 1 ok, 2 failed
+  ParsedPointRecord record;
+  for (std::size_t r = 1; r < replay.records.size(); ++r) {
+    if (parse_point_record(replay.records[r], out.grid_points, out.seeds, record)) {
+      status[record.idx] = record.exec.ok() ? 1 : 2;
+    } else {
+      ++out.malformed_records;
+    }
+  }
+  for (const char s : status) {
+    if (s == 0) continue;
+    ++out.points_recorded;
+    if (s == 1) {
+      ++out.points_ok;
+    } else {
+      ++out.points_failed;
+    }
+  }
+  return out;
 }
 
 std::vector<PointResult> run_sweep(const SweepOptions& options) {
@@ -810,12 +994,15 @@ std::string sweep_results_json(const SpecSweepOptions& options,
   // can filter them before a bit-for-bit diff of the aggregates.
   std::size_t resumed_points = 0;
   std::size_t failed_points = 0;
+  std::size_t skipped_points = 0;
   for (const auto& point : results) {
     if (point.exec.resumed) ++resumed_points;
-    if (!point.exec.ok()) ++failed_points;
+    if (point.exec.failed()) ++failed_points;
+    if (point.exec.skipped()) ++skipped_points;
   }
   out += "  \"execution\": {\"resumed_points\": " + std::to_string(resumed_points) +
-         ", \"failed_points\": " + std::to_string(failed_points) + "},\n";
+         ", \"failed_points\": " + std::to_string(failed_points) +
+         ", \"skipped_points\": " + std::to_string(skipped_points) + "},\n";
   out += "  \"axes\": [";
   for (std::size_t a = 0; a < options.axes.size(); ++a) {
     if (a != 0) out += ", ";
@@ -838,11 +1025,13 @@ std::string sweep_results_json(const SpecSweepOptions& options,
     out += "},\n     \"protocol\": " + json_string(point.result.protocol) +
            ", \"nodes\": " + std::to_string(point.result.node_count) + ",\n";
     out += "     \"exec\": {\"status\": " +
-           json_string(point.exec.ok() ? "ok" : "failed") +
+           json_string(point.exec.ok()        ? "ok"
+                       : point.exec.skipped() ? "skipped"
+                                              : "failed") +
            ", \"tries\": " + std::to_string(point.exec.tries) +
            ", \"wall_ms\": " + json_number(point.exec.wall_ms) +
            ", \"resumed\": " + (point.exec.resumed ? "true" : "false");
-    if (!point.exec.ok()) out += ", \"error\": " + json_string(point.exec.error);
+    if (point.exec.failed()) out += ", \"error\": " + json_string(point.exec.error);
     out += "},\n     \"metrics\": {";
     append_stat(out, "delivery_ratio", point.result.delivery_ratio);
     out += ", ";

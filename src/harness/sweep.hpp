@@ -22,7 +22,15 @@
 // the pre-PR3 engine (throwaway pool, one heap task + future per run,
 // fresh World per run, mutex-serialized merge + progress) in the same
 // binary as the bench baseline.
-// Crash safety (this PR): with SpecSweepOptions::journal_path set,
+// Multi-process fabric (PR 8): shard_index/shard_count restrict one
+// engine invocation to a deterministic slice of the point cross-product
+// (point index modulo shard_count), each shard journaling into its own
+// file; merge_sweep_journals folds any non-overlapping set of shard
+// journals — validated against the shared campaign fingerprint — into
+// final aggregates bit-identical to a single-process run. The `dtnsim
+// sweep --workers N` driver (tools/dtnsim.cpp) builds the
+// spawn/supervise/restart/merge loop on top of these two primitives.
+// Crash safety (PR 6): with SpecSweepOptions::journal_path set,
 // run_spec_sweep streams every COMPLETED grid point (all its seeds
 // finished) as one checksummed record into an append-only journal
 // (harness/journal.hpp) the moment it completes, fsync'd on a
@@ -138,19 +146,38 @@ struct SpecSweepOptions {
   std::function<void(const std::string&)> note;
   /// Test-only deterministic fault injection (see SweepFaultPlan).
   SweepFaultPlan* fault_plan = nullptr;
+
+  // ---- sharding (multi-process fabric) -------------------------------------
+  /// Shard selector over the point cross-product: this invocation executes
+  /// only points whose index satisfies `index % shard_count ==
+  /// shard_index` — a deterministic, spec-independent assignment, so N
+  /// cooperating processes given shard 0/N .. N-1/N cover the grid exactly
+  /// once. Out-of-shard points come back with PointExec::Status::kSkipped
+  /// and empty accumulators. The campaign fingerprint deliberately
+  /// EXCLUDES the shard selector (like threads, it cannot change any
+  /// result bit), so per-shard journals all carry the same fingerprint and
+  /// merge_sweep_journals can validate them against each other. Defaults
+  /// (0/1) mean "the whole grid". shard_count == 0 or shard_index >=
+  /// shard_count throw std::invalid_argument.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 /// How one grid point was actually executed — the robustness metadata next
 /// to its metrics. Serialized additively into dtnsim-sweep/1 (the "exec"
 /// object) and into the journal.
 struct PointExec {
-  enum class Status { kOk, kFailed };
+  enum class Status { kOk, kFailed, kSkipped };
   Status status = Status::kOk;
-  std::string error;    ///< first failure reason ("" when ok)
+  std::string error;    ///< first failure reason ("" when ok/skipped)
   int tries = 0;        ///< simulation attempts across all seeds (== seeds clean)
   double wall_ms = 0.0; ///< total attempt wall time (monotonic clock)
-  bool resumed = false; ///< replayed from the journal, not recomputed
+  bool resumed = false; ///< replayed from a journal, not recomputed
   [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+  [[nodiscard]] bool failed() const noexcept { return status == Status::kFailed; }
+  /// Point belongs to another shard (see SpecSweepOptions::shard_index);
+  /// it was neither executed nor journaled by this invocation.
+  [[nodiscard]] bool skipped() const noexcept { return status == Status::kSkipped; }
 };
 
 /// One resolved grid point: the axis assignments that produced it plus the
@@ -182,6 +209,62 @@ class SweepJournalError : public std::runtime_error {
 /// and releases its sample buffer the moment its last seed finishes,
 /// which is also when its journal record is streamed out.
 std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options);
+
+/// What merge_sweep_journals found across the shard journals.
+struct SweepMergeStats {
+  std::size_t journals_read = 0;   ///< journals that contributed >= 1 record
+  std::size_t points_ok = 0;       ///< merged points that completed cleanly
+  std::size_t points_failed = 0;   ///< merged failed-with-reason records
+  std::size_t points_missing = 0;  ///< grid points no journal recorded
+};
+
+/// Folds N per-shard journals into the final campaign aggregates —
+/// bit-identical to a single-process run of the same options (the per-seed
+/// samples are journaled as hexfloats and re-folded in seed order, exactly
+/// like `resume`). Every journal must carry THIS campaign's fingerprint
+/// (base spec, axes, seeds, seed base — foreign journals throw
+/// SweepJournalError loudly), and no two journals may record the same
+/// point (overlapping shards throw — silent double-counting is the one
+/// unforgivable merge bug). The partition does NOT have to be the modulo
+/// assignment: any disjoint covering (or partial covering) merges; within
+/// one journal the last record per point wins (a resumed retry supersedes
+/// the failure it retried). Degradation is graceful, not fatal: a missing
+/// or intact-record-free journal (a shard killed before its header was
+/// durable) contributes nothing, and grid points recorded by no journal
+/// come back failed-with-reason so the campaign completes with exit-1
+/// semantics instead of refusing to publish the survivors. Unreadable
+/// (existing but I/O-failing) paths throw.
+std::vector<SpecPointResult> merge_sweep_journals(
+    const SpecSweepOptions& options, const std::vector<std::string>& journal_paths,
+    SweepMergeStats* stats = nullptr);
+
+/// Offline journal diagnosis for `dtnsim journal <file>`: framing health
+/// (intact records, valid prefix, torn tail) plus — when the first record
+/// is a sweep campaign fingerprint — the campaign shape and per-point
+/// record census. Never throws; missing/io_error report through the flags.
+struct JournalInspection {
+  bool missing = false;            ///< file does not exist
+  bool io_error = false;           ///< file exists but could not be read
+  std::size_t records = 0;         ///< intact records, header included
+  std::uint64_t valid_bytes = 0;   ///< length of the intact prefix
+  std::uint64_t dropped_bytes = 0; ///< torn/corrupt bytes behind it
+  bool campaign = false;           ///< first record is a sweep fingerprint
+  int seeds = 0;                   ///< campaign header: per-point seeds
+  std::uint64_t seed_base = 0;     ///< campaign header: first seed
+  std::size_t grid_points = 0;     ///< campaign header: grid size
+  std::size_t axes = 0;            ///< campaign header: axis count
+  std::size_t points_recorded = 0; ///< distinct point indices (latest wins)
+  std::size_t points_ok = 0;
+  std::size_t points_failed = 0;
+  std::size_t malformed_records = 0;  ///< framed fine but unparsable payload
+  /// Journal is safe to resume/merge as-is: it exists, read cleanly, lost
+  /// no bytes, and every non-header record parsed.
+  [[nodiscard]] bool intact() const noexcept {
+    return !missing && !io_error && dropped_bytes == 0 && malformed_records == 0 &&
+           records > 0;
+  }
+};
+JournalInspection inspect_sweep_journal(const std::string& path);
 
 struct SweepOptions {
   std::vector<std::string> protocols;
@@ -225,11 +308,12 @@ util::TablePrinter sweep_table(const std::vector<SpecPointResult>& results,
 ///     "scenario": <base spec name>,
 ///     "seeds": <per-point repetitions>, "seed_base": <first seed>,
 ///     "axes": [{"key": ..., "values": [...]}, ...],
-///     "execution": {"resumed_points": ..., "failed_points": ...},
+///     "execution": {"resumed_points": ..., "failed_points": ...,
+///                    "skipped_points": ...},
 ///     "points": [{
 ///       "overrides": {<axis key>: <value>, ...},
 ///       "protocol": ..., "nodes": ...,
-///       "exec": {"status": "ok"|"failed", "tries": ..., "wall_ms": ...,
+///       "exec": {"status": "ok"|"failed"|"skipped", "tries": ..., "wall_ms": ...,
 ///                "resumed": ...[, "error": ...]},
 ///       "metrics": {<name>: {"mean": ..., "stddev": ..., "count": ...}, ...}
 ///     }, ...]

@@ -1,0 +1,158 @@
+#include "util/subprocess.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace dtn::util {
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), reaped_(other.reaped_), last_(other.last_) {
+  other.pid_ = -1;
+  other.reaped_ = false;
+  other.last_ = ProcessStatus{};
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    last_ = other.last_;
+    other.pid_ = -1;
+    other.reaped_ = false;
+    other.last_ = ProcessStatus{};
+  }
+  return *this;
+}
+
+#if !defined(_WIN32)
+
+namespace {
+
+/// Translates a waitpid status word into a ProcessStatus.
+ProcessStatus decode_status(int status) {
+  ProcessStatus out;
+  if (WIFEXITED(status)) {
+    out.exited = true;
+    out.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.term_signal = WTERMSIG(status);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Subprocess::spawn(const std::vector<std::string>& argv, bool discard_stdout,
+                       std::string* error) {
+  if (pid_ > 0 && !reaped_) {
+    if (error != nullptr) *error = "a child is already being supervised";
+    return false;
+  }
+  if (argv.empty()) {
+    if (error != nullptr) *error = "empty argv";
+    return false;
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& arg : argv) cargv.push_back(const_cast<char*>(arg.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    if (error != nullptr) {
+      *error = std::string("fork failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  if (child == 0) {
+    if (discard_stdout) {
+      const int null_fd = ::open("/dev/null", O_WRONLY);
+      if (null_fd >= 0) {
+        ::dup2(null_fd, STDOUT_FILENO);
+        ::close(null_fd);
+      }
+    }
+    ::execv(cargv[0], cargv.data());
+    // Exec failed; 127 is the shell's convention for "command not found"
+    // and distinguishes spawn failure from any dtnsim exit code.
+    _exit(127);
+  }
+  pid_ = child;
+  reaped_ = false;
+  last_ = ProcessStatus{};
+  last_.running = true;
+  return true;
+}
+
+ProcessStatus Subprocess::poll() {
+  if (pid_ <= 0 || reaped_) return last_;
+  int status = 0;
+  const pid_t got = ::waitpid(static_cast<pid_t>(pid_), &status, WNOHANG);
+  if (got == 0) return last_;  // still running
+  if (got < 0) {
+    // ECHILD etc: nothing left to reap — report a generic exit so the
+    // supervisor does not spin forever on a vanished child.
+    last_ = ProcessStatus{};
+    last_.exited = true;
+    reaped_ = true;
+    return last_;
+  }
+  last_ = decode_status(status);
+  reaped_ = true;
+  return last_;
+}
+
+ProcessStatus Subprocess::wait() {
+  if (pid_ <= 0 || reaped_) return last_;
+  int status = 0;
+  const pid_t got = ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+  if (got < 0) {
+    last_ = ProcessStatus{};
+    last_.exited = true;
+    reaped_ = true;
+    return last_;
+  }
+  last_ = decode_status(status);
+  reaped_ = true;
+  return last_;
+}
+
+void Subprocess::kill_hard() {
+  if (pid_ > 0 && !reaped_) ::kill(static_cast<pid_t>(pid_), SIGKILL);
+}
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len <= 0) return "";
+  buf[len] = '\0';
+  return buf;
+}
+
+#else  // _WIN32 stubs: the multi-process fabric is POSIX-gated.
+
+bool Subprocess::spawn(const std::vector<std::string>&, bool, std::string* error) {
+  if (error != nullptr) *error = "subprocess supervision is not supported on this platform";
+  return false;
+}
+
+ProcessStatus Subprocess::poll() { return last_; }
+
+ProcessStatus Subprocess::wait() { return last_; }
+
+void Subprocess::kill_hard() {}
+
+std::string self_exe_path() { return ""; }
+
+#endif
+
+}  // namespace dtn::util

@@ -1,0 +1,321 @@
+// Shard-merge equivalence properties for the multi-process campaign
+// fabric: for ANY shard count in {1, 2, 3, 5} — and for arbitrary
+// (non-modulo) point partitions — running the shards separately and
+// folding their journals through merge_sweep_journals yields aggregates
+// BIT-IDENTICAL to a single-process campaign, at thread counts 1 and 3.
+// Overlapping shards, foreign journals, and invalid shard selectors are
+// refused loudly. This is the in-process half of the fabric's acceptance
+// gate; the real fork/exec + SIGKILL half is the dtnsim_worker_crash
+// ctest (cmake/dtnsim_worker_crash.cmake).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/journal.hpp"
+#include "harness/spec_io.hpp"
+#include "harness/sweep.hpp"
+
+namespace dtn::harness {
+namespace {
+
+/// Smallest sweepable world that still produces nonzero, copies-dependent
+/// metrics (mirrors tests/cli/resume.cfg).
+ScenarioSpec tiny_spec() {
+  return parse_spec(
+      "scenario.name = shard_prop\n"
+      "scenario.duration = 1500\n"
+      "scenario.seed = 7\n"
+      "map.kind = open_field\n"
+      "map.width = 120\n"
+      "map.height = 120\n"
+      "group.walkers.model = random_waypoint\n"
+      "group.walkers.count = 8\n"
+      "group.walkers.speed_min = 1\n"
+      "group.walkers.speed_max = 3\n"
+      "world.radio_range = 40\n"
+      "protocol.name = EER\n"
+      "protocol.copies = 4\n"
+      "communities.count = 2\n"
+      "traffic.interval_min = 20\n"
+      "traffic.interval_max = 30\n");
+}
+
+SpecSweepOptions base_options(std::size_t threads) {
+  SpecSweepOptions opt;
+  opt.base = tiny_spec();
+  opt.axes = {{"protocol.copies", {"2", "4", "8"}}};
+  opt.seeds = 2;
+  opt.threads = threads;
+  return opt;
+}
+
+/// Bitwise equality of every aggregate — the acceptance bar is
+/// bit-identical, not approximately-equal, so EXPECT_EQ on doubles is the
+/// point, not an oversight.
+void expect_bitwise_equal(const std::vector<SpecPointResult>& got,
+                          const std::vector<SpecPointResult>& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const PointResult& g = got[i].result;
+    const PointResult& w = want[i].result;
+    const std::string where = context + " point " + std::to_string(i);
+    EXPECT_EQ(g.delivery_ratio.mean(), w.delivery_ratio.mean()) << where;
+    EXPECT_EQ(g.delivery_ratio.stddev(), w.delivery_ratio.stddev()) << where;
+    EXPECT_EQ(g.delivery_ratio.count(), w.delivery_ratio.count()) << where;
+    EXPECT_EQ(g.latency.mean(), w.latency.mean()) << where;
+    EXPECT_EQ(g.latency.stddev(), w.latency.stddev()) << where;
+    EXPECT_EQ(g.goodput.mean(), w.goodput.mean()) << where;
+    EXPECT_EQ(g.control_mb.mean(), w.control_mb.mean()) << where;
+    EXPECT_EQ(g.relayed.mean(), w.relayed.mean()) << where;
+    EXPECT_EQ(g.contacts.mean(), w.contacts.mean()) << where;
+    EXPECT_EQ(g.contacts.stddev(), w.contacts.stddev()) << where;
+  }
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+class SweepShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stem_ = std::string("shard_prop_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    cleanup();
+  }
+  void TearDown() override { cleanup(); }
+  void cleanup() {
+    for (const auto& path : made_) std::remove(path.c_str());
+    made_.clear();
+  }
+  std::string journal_path(std::size_t shard) {
+    const std::string path = stem_ + "_" + std::to_string(shard) + ".dtnj";
+    made_.push_back(path);
+    return path;
+  }
+  std::string stem_;
+  std::vector<std::string> made_;
+};
+
+TEST_F(SweepShardTest, InvalidShardSelectorThrows) {
+  SpecSweepOptions opt = base_options(1);
+  opt.shard_count = 0;
+  EXPECT_THROW(run_spec_sweep(opt), std::invalid_argument);
+  opt.shard_count = 2;
+  opt.shard_index = 2;
+  EXPECT_THROW(run_spec_sweep(opt), std::invalid_argument);
+  opt.shard_index = 5;
+  EXPECT_THROW(run_spec_sweep(opt), std::invalid_argument);
+}
+
+TEST_F(SweepShardTest, OutOfShardPointsAreSkippedNotRun) {
+  SpecSweepOptions opt = base_options(1);
+  opt.shard_index = 0;
+  opt.shard_count = 2;  // of 3 points, indices 0 and 2 are in-shard
+  const auto got = run_spec_sweep(opt);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_TRUE(got[0].exec.ok());
+  EXPECT_TRUE(got[1].exec.skipped());
+  EXPECT_TRUE(got[2].exec.ok());
+  // A skipped point was never executed: no samples, no attempts.
+  EXPECT_EQ(got[1].result.delivery_ratio.count(), 0u);
+  EXPECT_EQ(got[1].exec.tries, 0);
+  // The JSON carries the skipped status and counts it as skipped, not
+  // failed.
+  const std::string json = sweep_results_json(opt, got);
+  EXPECT_NE(json.find("\"skipped_points\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"status\": \"skipped\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"status\": \"failed\""), std::string::npos) << json;
+}
+
+TEST_F(SweepShardTest, ModuloShardsMergeBitIdentical) {
+  // The fabric's core property: for every shard count (including counts
+  // larger than the grid, which leave header-only journals) and at both
+  // execution paths, per-shard journaled runs merge into aggregates
+  // bit-identical to one single-process campaign.
+  const auto want = run_spec_sweep(base_options(1));
+  for (const std::size_t shards : {1u, 2u, 3u, 5u}) {
+    for (const std::size_t threads : {1u, 3u}) {
+      const std::string context =
+          "shards=" + std::to_string(shards) + " threads=" + std::to_string(threads);
+      std::vector<std::string> paths;
+      for (std::size_t s = 0; s < shards; ++s) {
+        SpecSweepOptions opt = base_options(threads);
+        opt.shard_index = s;
+        opt.shard_count = shards;
+        opt.journal_path = journal_path(s);
+        paths.push_back(opt.journal_path);
+        run_spec_sweep(opt);
+      }
+      SweepMergeStats stats;
+      const auto got = merge_sweep_journals(base_options(threads), paths, &stats);
+      expect_bitwise_equal(got, want, context);
+      EXPECT_EQ(stats.journals_read, shards) << context;
+      EXPECT_EQ(stats.points_ok, want.size()) << context;
+      EXPECT_EQ(stats.points_failed, 0u) << context;
+      EXPECT_EQ(stats.points_missing, 0u) << context;
+      for (const auto& point : got) EXPECT_TRUE(point.exec.ok()) << context;
+      cleanup();
+    }
+  }
+}
+
+TEST_F(SweepShardTest, ArbitraryPartitionsMergeBitIdentical) {
+  // merge_sweep_journals does not require the modulo assignment: ANY
+  // disjoint partition of the recorded points merges. Sample partitions by
+  // splitting a complete single-process journal's records across K files
+  // with a deterministic LCG.
+  const auto want = run_spec_sweep(base_options(1));
+
+  SpecSweepOptions full = base_options(1);
+  full.journal_path = journal_path(99);
+  run_spec_sweep(full);
+  const JournalReadResult replay = read_journal(full.journal_path);
+  ASSERT_FALSE(replay.tail_dropped());
+  ASSERT_EQ(replay.records.size(), 4u);  // header + 3 points
+  const std::string header_frame = frame_record(replay.records.front());
+
+  std::uint64_t lcg = 42;
+  const auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::size_t>(lcg >> 33);
+  };
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t buckets = 2 + static_cast<std::size_t>(trial % 2);  // 2 or 3
+    std::vector<std::string> bytes(buckets, header_frame);
+    for (std::size_t r = 1; r < replay.records.size(); ++r) {
+      bytes[next() % buckets] += frame_record(replay.records[r]);
+    }
+    std::vector<std::string> paths;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      paths.push_back(journal_path(b));
+      write_file(paths.back(), bytes[b]);
+    }
+    SweepMergeStats stats;
+    const auto got = merge_sweep_journals(base_options(1), paths, &stats);
+    expect_bitwise_equal(got, want, "trial " + std::to_string(trial));
+    EXPECT_EQ(stats.points_ok, want.size());
+    EXPECT_EQ(stats.points_missing, 0u);
+    cleanup();
+  }
+}
+
+TEST_F(SweepShardTest, OverlappingShardsAreRefused) {
+  // Two journals recording the same point would silently double-count its
+  // samples — the merge must throw, never publish.
+  SpecSweepOptions a = base_options(1);
+  a.shard_index = 0;
+  a.shard_count = 2;
+  a.journal_path = journal_path(0);
+  run_spec_sweep(a);
+  SpecSweepOptions b = base_options(1);
+  b.shard_index = 0;  // same shard again: overlaps on points 0 and 2
+  b.shard_count = 2;
+  b.journal_path = journal_path(1);
+  run_spec_sweep(b);
+  EXPECT_THROW(
+      merge_sweep_journals(base_options(1), {a.journal_path, b.journal_path}),
+      SweepJournalError);
+}
+
+TEST_F(SweepShardTest, ForeignJournalIsRefused) {
+  // A journal from a DIFFERENT campaign (axis values changed) among the
+  // shard set must abort the merge loudly.
+  SpecSweepOptions mine = base_options(1);
+  mine.shard_index = 0;
+  mine.shard_count = 2;
+  mine.journal_path = journal_path(0);
+  run_spec_sweep(mine);
+  SpecSweepOptions foreign = base_options(1);
+  foreign.axes = {{"protocol.copies", {"2", "16"}}};
+  foreign.journal_path = journal_path(1);
+  run_spec_sweep(foreign);
+  EXPECT_THROW(
+      merge_sweep_journals(base_options(1), {mine.journal_path, foreign.journal_path}),
+      SweepJournalError);
+}
+
+TEST_F(SweepShardTest, MissingJournalsDegradeToFailedPoints) {
+  // A shard that died before writing anything contributes nothing; its
+  // points come back failed-with-reason so the campaign can publish the
+  // survivors with exit-1 semantics instead of refusing.
+  SpecSweepOptions opt = base_options(1);
+  opt.shard_index = 0;
+  opt.shard_count = 2;
+  opt.journal_path = journal_path(0);
+  run_spec_sweep(opt);
+  SweepMergeStats stats;
+  const auto got = merge_sweep_journals(
+      base_options(1), {opt.journal_path, stem_ + "_nonexistent.dtnj"}, &stats);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_TRUE(got[0].exec.ok());
+  EXPECT_TRUE(got[1].exec.failed());
+  EXPECT_NE(got[1].exec.error.find("no shard journal"), std::string::npos);
+  EXPECT_TRUE(got[2].exec.ok());
+  EXPECT_EQ(stats.journals_read, 1u);
+  EXPECT_EQ(stats.points_ok, 2u);
+  EXPECT_EQ(stats.points_missing, 1u);
+}
+
+TEST_F(SweepShardTest, ShardedResumeReplaysOnlyItsOwnSlice) {
+  // Resuming WITH a shard selector ignores journal records for
+  // out-of-shard points: a shard restarted from a journal written by a
+  // wider run must not adopt points that now belong to someone else.
+  SpecSweepOptions full = base_options(1);
+  full.journal_path = journal_path(0);
+  run_spec_sweep(full);  // journal now records all 3 points
+
+  SpecSweepOptions resume = base_options(1);
+  resume.shard_index = 1;
+  resume.shard_count = 2;  // owns only point 1
+  resume.journal_path = full.journal_path;
+  resume.resume = true;
+  const auto got = run_spec_sweep(resume);
+  EXPECT_TRUE(got[0].exec.skipped());
+  EXPECT_TRUE(got[1].exec.resumed);
+  EXPECT_TRUE(got[1].exec.ok());
+  EXPECT_TRUE(got[2].exec.skipped());
+  EXPECT_EQ(got[0].result.delivery_ratio.count(), 0u);
+}
+
+TEST_F(SweepShardTest, InspectJournalReportsCampaignAndDamage) {
+  SpecSweepOptions full = base_options(1);
+  full.journal_path = journal_path(0);
+  run_spec_sweep(full);
+
+  JournalInspection info = inspect_sweep_journal(full.journal_path);
+  EXPECT_TRUE(info.intact());
+  EXPECT_TRUE(info.campaign);
+  EXPECT_EQ(info.records, 4u);
+  EXPECT_EQ(info.seeds, 2);
+  EXPECT_EQ(info.grid_points, 3u);
+  EXPECT_EQ(info.axes, 1u);
+  EXPECT_EQ(info.points_recorded, 3u);
+  EXPECT_EQ(info.points_ok, 3u);
+  EXPECT_EQ(info.points_failed, 0u);
+  EXPECT_EQ(info.dropped_bytes, 0u);
+
+  // A torn tail is diagnosed, not fatal — and never counted as a record.
+  std::FILE* f = std::fopen(full.journal_path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("%DTNJ1 99 deadbeef\ngarbage", f);
+  std::fclose(f);
+  info = inspect_sweep_journal(full.journal_path);
+  EXPECT_FALSE(info.intact());
+  EXPECT_EQ(info.records, 4u);
+  EXPECT_GT(info.dropped_bytes, 0u);
+  EXPECT_TRUE(info.campaign);
+
+  const JournalInspection gone = inspect_sweep_journal(stem_ + "_missing.dtnj");
+  EXPECT_TRUE(gone.missing);
+  EXPECT_FALSE(gone.intact());
+}
+
+}  // namespace
+}  // namespace dtn::harness

@@ -1,0 +1,119 @@
+// util::Subprocess — the process-management substrate of the `dtnsim
+// sweep --workers` fabric. Pins exactly the lifecycle facts the campaign
+// supervisor depends on: exit codes propagate, signal deaths are
+// distinguishable from exits, exec failure surfaces as the conventional
+// 127, kill_hard() reliably terminates a live child, and terminal status
+// is latched across polls.
+#include <gtest/gtest.h>
+
+#if !defined(_WIN32)
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/subprocess.hpp"
+
+namespace dtn::util {
+namespace {
+
+std::vector<std::string> sh(const std::string& script) {
+  return {"/bin/sh", "-c", script};
+}
+
+ProcessStatus wait_terminal(Subprocess& proc) {
+  // poll() until terminal (bounded), so the non-blocking path — the one
+  // the supervisor actually uses — is what gets exercised.
+  for (int i = 0; i < 2000; ++i) {
+    const ProcessStatus status = proc.poll();
+    if (!status.running) return status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ADD_FAILURE() << "child did not terminate within the poll budget";
+  return proc.poll();
+}
+
+TEST(SubprocessTest, ExitCodesPropagate) {
+  Subprocess ok;
+  std::string error;
+  ASSERT_TRUE(ok.spawn(sh("exit 0"), /*discard_stdout=*/true, &error)) << error;
+  ProcessStatus status = ok.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 0);
+  EXPECT_FALSE(status.signaled);
+
+  Subprocess seven;
+  ASSERT_TRUE(seven.spawn(sh("exit 7"), true, &error)) << error;
+  status = wait_terminal(seven);
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 7);
+}
+
+TEST(SubprocessTest, SignalDeathIsDistinguishedFromExit) {
+  Subprocess proc;
+  std::string error;
+  ASSERT_TRUE(proc.spawn(sh("kill -KILL $$"), true, &error)) << error;
+  const ProcessStatus status = wait_terminal(proc);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_FALSE(status.exited);
+  EXPECT_EQ(status.term_signal, 9);
+}
+
+TEST(SubprocessTest, ExecFailureSurfacesAs127) {
+  Subprocess proc;
+  std::string error;
+  ASSERT_TRUE(proc.spawn({"/nonexistent/not-a-binary"}, true, &error)) << error;
+  const ProcessStatus status = wait_terminal(proc);
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 127);
+}
+
+TEST(SubprocessTest, KillHardTerminatesALiveChild) {
+  Subprocess proc;
+  std::string error;
+  ASSERT_TRUE(proc.spawn(sh("sleep 30"), true, &error)) << error;
+  EXPECT_TRUE(proc.poll().running);
+  proc.kill_hard();
+  const ProcessStatus status = proc.wait();
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, 9);
+}
+
+TEST(SubprocessTest, TerminalStatusIsLatched) {
+  Subprocess proc;
+  std::string error;
+  ASSERT_TRUE(proc.spawn(sh("exit 3"), true, &error)) << error;
+  const ProcessStatus first = wait_terminal(proc);
+  const ProcessStatus again = proc.poll();
+  EXPECT_EQ(again.exited, first.exited);
+  EXPECT_EQ(again.exit_code, first.exit_code);
+  // A reaped child frees the slot: the same Subprocess may spawn again.
+  ASSERT_TRUE(proc.spawn(sh("exit 0"), true, &error)) << error;
+  EXPECT_EQ(wait_terminal(proc).exit_code, 0);
+}
+
+TEST(SubprocessTest, SpawnRejectsBadRequests) {
+  Subprocess proc;
+  std::string error;
+  EXPECT_FALSE(proc.spawn({}, true, &error));
+  EXPECT_FALSE(error.empty());
+  ASSERT_TRUE(proc.spawn(sh("sleep 30"), true, &error)) << error;
+  // Spawning over a live child must be refused, not leak it.
+  EXPECT_FALSE(proc.spawn(sh("exit 0"), true, &error));
+  proc.kill_hard();
+  proc.wait();
+}
+
+TEST(SubprocessTest, SelfExePathResolves) {
+  const std::string exe = self_exe_path();
+  ASSERT_FALSE(exe.empty());
+  EXPECT_EQ(exe.front(), '/');
+  // It names THIS test binary.
+  EXPECT_NE(exe.find("subprocess_test"), std::string::npos) << exe;
+}
+
+}  // namespace
+}  // namespace dtn::util
+
+#endif  // !_WIN32

@@ -6,6 +6,9 @@
 //                             --axis scenario.nodes=40,80 [--seeds N] [--threads T]
 //                             [--out results.json] [--resume] [--journal J]
 //                             [--retries N] [--point-timeout S] [--sync-every N]
+//                             [--shard i/N | --workers N [--worker-retries R]
+//                                                        [--worker-timeout S]]
+//   dtnsim journal <file>                            # inspect a campaign journal
 //   dtnsim print scenario.cfg [--set key=value]...   # resolved canonical config
 //   dtnsim check scenario.cfg                        # parse + validate, report diagnostics
 //   dtnsim list                                      # registered protocols/models/maps
@@ -29,16 +32,43 @@
 // `--fault action@trigger` is the deterministic crash-injection hook the
 // recovery tests drive (e.g. kill@point=2, kill@bytes=800,
 // hang@point=0:ms=2000, throw@point=1:fires=3) — test-only, not for ops.
+//
+// Multi-process fabric: `--workers N` shards the point cross-product
+// across N child `dtnsim sweep --shard i/N` processes (one journal per
+// shard under `<journal>.shards/`), supervises them with a journal-growth
+// liveness timeout and exponential-backoff restarts (`--worker-retries`,
+// each restart resuming its own shard journal), then merges the shard
+// journals into final aggregates bit-identical to a single-process run.
+// A shard that exhausts its retries degrades the campaign instead of
+// killing it: the merge reports its points failed-with-reason, exit is 1,
+// and the journals are kept so `--resume` retries exactly the gap.
+// `--shard i/N` also works standalone for manual/remote sharding, and
+// `dtnsim journal <file>` diagnoses any campaign journal offline.
+//
+// Exit codes are pinned (the supervision loop depends on them): 0 = clean
+// campaign, 1 = completed with failed points (or a runtime error), 2 =
+// usage/config error.
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if !defined(_WIN32)
+#include <cerrno>
+#include <cstring>
+#include <sys/stat.h>
+#include <sys/types.h>
+#endif
 
 #include "harness/journal.hpp"
 #include "harness/spec_io.hpp"
 #include "harness/sweep.hpp"
 #include "util/flags.hpp"
+#include "util/subprocess.hpp"
 #include "util/table.hpp"
 #include "util/value_parse.hpp"
 
@@ -55,6 +85,10 @@ int usage() {
                "                       [--seeds N] [--seed-base B] [--threads T] [--quiet]\n"
                "                       [--out results.json] [--journal J] [--resume]\n"
                "                       [--retries N] [--point-timeout S] [--sync-every N]\n"
+               "                       [--shard i/N | --workers N [--worker-retries R]\n"
+               "                                                  [--worker-timeout S]]\n"
+               "  journal <file>       # inspect a campaign journal (fingerprint,\n"
+               "                       # record census, torn-tail diagnosis)\n"
                "  print <scenario.cfg> [--set k=v]...\n"
                "  check <scenario.cfg>\n"
                "  list\n");
@@ -168,6 +202,257 @@ bool check_flags(const util::Flags& flags, std::initializer_list<const char*> al
   return offenders.empty();
 }
 
+/// Parses `--shard i/N` (0-based shard index / shard count). Rejects
+/// anything nonsensical — N == 0, i >= N, garbage — loudly: a bad shard
+/// selector silently running the wrong slice of a campaign is exactly the
+/// failure mode the fabric exists to prevent.
+bool parse_shard_spec(const std::string& text, std::size_t& index, std::size_t& count) {
+  const auto fail = [&text] {
+    std::fprintf(stderr,
+                 "dtnsim: bad --shard '%s' (expected i/N with 0 <= i < N, e.g. 0/4)\n",
+                 text.c_str());
+    return false;
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return fail();
+  std::int64_t index_v = 0;
+  std::int64_t count_v = 0;
+  if (!util::parse_value(text.substr(0, slash), index_v) ||
+      !util::parse_value(text.substr(slash + 1), count_v)) {
+    return fail();
+  }
+  if (count_v < 1 || index_v < 0 || index_v >= count_v) return fail();
+  index = static_cast<std::size_t>(index_v);
+  count = static_cast<std::size_t>(count_v);
+  return true;
+}
+
+/// Size of `path` in bytes, 0 when missing — the fleet's liveness probe.
+/// A shard journal only grows (one record per completed point), so "the
+/// journal stopped growing" is the observable form of "the worker hung".
+std::uint64_t file_size_of(const std::string& path) {
+#if !defined(_WIN32)
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0 || st.st_size < 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+#else
+  (void)path;
+  return 0;
+#endif
+}
+
+bool make_dir(const std::string& path) {
+#if !defined(_WIN32)
+  return ::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST;
+#else
+  (void)path;
+  return false;
+#endif
+}
+
+/// Spawns and supervises one `dtnsim sweep --shard i/N` child per shard,
+/// each journaling into `work_dir`/shard-i.journal. Supervision policy:
+///   - child exit 0 or 1  -> shard done (1 = it already retried per-point
+///                           failures itself; a restart cannot help)
+///   - child exit 2       -> config error; restarting is pointless, give up
+///   - killed by a signal, exec failure, or a journal that stops growing
+///     for > worker_timeout_s -> crash; restart with exponential backoff
+///     (0.25 s doubling, capped at 5 s) up to `worker_retries` extra
+///     attempts, every restart resuming the shard's own journal so only
+///     in-flight points are recomputed
+/// A shard that exhausts its attempts is abandoned; the caller's merge
+/// reports its unrecorded points failed-with-reason (graceful degradation,
+/// never a refusal to publish the survivors). The `--fault` plan is
+/// forwarded only to each shard's FIRST spawn: restarted workers must not
+/// re-trip the very fault they are recovering from. Fills `journals_out`
+/// with every shard's journal path; returns 0 once supervision ends, 2 on
+/// setup errors (unusable work dir).
+int run_worker_fleet(const std::string& cfg_path, const util::Flags& flags,
+                     const harness::SpecSweepOptions& options, std::size_t workers,
+                     int worker_retries, double worker_timeout_s,
+                     const std::string& work_dir, const std::string& argv0,
+                     std::vector<std::string>& journals_out) {
+  using Clock = std::chrono::steady_clock;
+  if (!make_dir(work_dir)) {
+    std::fprintf(stderr, "dtnsim: cannot create shard work dir '%s'\n",
+                 work_dir.c_str());
+    return 2;
+  }
+  std::string exe = util::self_exe_path();
+  if (exe.empty()) exe = argv0;
+  const std::string fault_raw = flags.get_string("fault", "");
+
+  struct Slot {
+    std::size_t shard = 0;
+    std::string journal;
+    util::Subprocess proc;
+    int spawns = 0;        ///< launch attempts so far (max 1 + worker_retries)
+    bool running = false;
+    bool done = false;     ///< child completed its shard (exit 0 or 1)
+    bool gave_up = false;  ///< retries exhausted or config error
+    bool pending_restart = false;
+    Clock::time_point restart_at{};
+    std::uint64_t last_size = 0;       ///< journal size at last growth
+    Clock::time_point last_growth{};   ///< when the journal last grew
+  };
+  std::vector<Slot> slots(workers);
+  journals_out.clear();
+  for (std::size_t i = 0; i < workers; ++i) {
+    slots[i].shard = i;
+    slots[i].journal = work_dir + "/shard-" + std::to_string(i) + ".journal";
+    journals_out.push_back(slots[i].journal);
+  }
+
+  const auto build_argv = [&](const Slot& slot) {
+    std::vector<std::string> argv = {exe, "sweep", cfg_path};
+    for (const auto& kv : flags.get_list("set")) {
+      argv.push_back("--set");
+      argv.push_back(kv);
+    }
+    for (const auto& axis : flags.get_list("axis")) {
+      argv.push_back("--axis");
+      argv.push_back(axis);
+    }
+    argv.push_back("--seeds");
+    argv.push_back(std::to_string(options.seeds));
+    argv.push_back("--seed-base");
+    argv.push_back(util::format_value(options.seed_base));
+    // Campaign parallelism comes from the worker count; each worker is
+    // single-threaded unless the user sized --threads explicitly.
+    argv.push_back("--threads");
+    argv.push_back(std::to_string(flags.has("threads") ? options.threads : 1));
+    if (options.retries > 0) {
+      argv.push_back("--retries");
+      argv.push_back(std::to_string(options.retries));
+    }
+    if (options.point_timeout_s > 0) {
+      argv.push_back("--point-timeout");
+      argv.push_back(util::format_value(options.point_timeout_s));
+    }
+    if (flags.has("sync-every")) {
+      argv.push_back("--sync-every");
+      argv.push_back(std::to_string(options.sync_every));
+    }
+    argv.push_back("--quiet");
+    argv.push_back("--journal");
+    argv.push_back(slot.journal);
+    argv.push_back("--shard");
+    argv.push_back(std::to_string(slot.shard) + "/" + std::to_string(workers));
+    // Restarts ALWAYS resume (that is the point of the per-shard journal);
+    // first spawns resume only when the whole campaign does.
+    if (options.resume || slot.spawns > 0) argv.push_back("--resume");
+    if (!fault_raw.empty() && slot.spawns == 0) {
+      argv.push_back("--fault");
+      argv.push_back(fault_raw);
+    }
+    return argv;
+  };
+
+  const auto schedule_or_give_up = [&](Slot& slot) {
+    if (slot.spawns <= worker_retries) {
+      const int exponent = std::min(slot.spawns - 1, 10);
+      const double delay_s = std::min(5.0, 0.25 * static_cast<double>(1 << exponent));
+      slot.pending_restart = true;
+      slot.restart_at =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(delay_s));
+      std::fprintf(stderr,
+                   "dtnsim: restarting shard %zu/%zu in %.2f s (attempt %d of %d)\n",
+                   slot.shard, workers, delay_s, slot.spawns + 1, 1 + worker_retries);
+    } else {
+      slot.gave_up = true;
+      std::fprintf(stderr,
+                   "dtnsim: shard %zu/%zu gave up after %d attempt(s); its "
+                   "unrecorded points will be reported failed\n",
+                   slot.shard, workers, slot.spawns);
+    }
+  };
+
+  const auto launch = [&](Slot& slot) {
+    slot.pending_restart = false;
+    const std::vector<std::string> argv = build_argv(slot);
+    ++slot.spawns;
+    std::string error;
+    slot.proc = util::Subprocess();
+    // Workers' stdout (their own tables) would corrupt the driver's output;
+    // stderr stays inherited so worker diagnostics reach the operator.
+    if (!slot.proc.spawn(argv, /*discard_stdout=*/true, &error)) {
+      std::fprintf(stderr, "dtnsim: cannot spawn worker for shard %zu/%zu: %s\n",
+                   slot.shard, workers, error.c_str());
+      schedule_or_give_up(slot);
+      return;
+    }
+    slot.running = true;
+    slot.last_size = file_size_of(slot.journal);
+    slot.last_growth = Clock::now();
+  };
+
+  for (auto& slot : slots) launch(slot);
+  bool active = true;
+  while (active) {
+    active = false;
+    const Clock::time_point now = Clock::now();
+    for (auto& slot : slots) {
+      if (slot.pending_restart) {
+        if (now >= slot.restart_at) launch(slot);
+        if (slot.pending_restart) {  // still waiting (or respawn failed again)
+          active = true;
+          continue;
+        }
+      }
+      if (!slot.running) continue;
+      const util::ProcessStatus status = slot.proc.poll();
+      if (status.running) {
+        active = true;
+        if (worker_timeout_s > 0) {
+          const std::uint64_t size = file_size_of(slot.journal);
+          if (size != slot.last_size) {
+            slot.last_size = size;
+            slot.last_growth = now;
+          } else if (std::chrono::duration<double>(now - slot.last_growth).count() >
+                     worker_timeout_s) {
+            std::fprintf(stderr,
+                         "dtnsim: shard %zu/%zu made no journal progress for "
+                         "%.1f s; killing the worker\n",
+                         slot.shard, workers, worker_timeout_s);
+            slot.proc.kill_hard();
+            slot.proc.wait();
+            slot.running = false;
+            schedule_or_give_up(slot);
+            if (slot.pending_restart) active = true;
+          }
+        }
+        continue;
+      }
+      slot.running = false;
+      if (status.exited && (status.exit_code == 0 || status.exit_code == 1)) {
+        slot.done = true;
+      } else if (status.exited && status.exit_code == 2) {
+        slot.gave_up = true;
+        std::fprintf(stderr,
+                     "dtnsim: worker for shard %zu/%zu exited with a "
+                     "configuration error (exit 2); not restarting\n",
+                     slot.shard, workers);
+      } else {
+        if (status.signaled) {
+          std::fprintf(stderr, "dtnsim: worker for shard %zu/%zu died on signal %d\n",
+                       slot.shard, workers, status.term_signal);
+        } else {
+          std::fprintf(stderr,
+                       "dtnsim: worker for shard %zu/%zu exited abnormally "
+                       "(code %d%s)\n",
+                       slot.shard, workers, status.exit_code,
+                       status.exit_code == 127 ? ", exec failed" : "");
+        }
+        schedule_or_give_up(slot);
+        if (slot.pending_restart) active = true;
+      }
+    }
+    if (active) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return 0;
+}
+
 void print_point(const harness::PointResult& point) {
   util::TablePrinter table({"metric", "mean", "stddev", "seeds"});
   for (const auto metric :
@@ -225,10 +510,12 @@ int cmd_run(const std::string& path, const util::Flags& flags) {
   return 0;
 }
 
-int cmd_sweep(const std::string& path, const util::Flags& flags) {
+int cmd_sweep(const std::string& path, const util::Flags& flags,
+              const std::string& argv0) {
   if (!check_flags(flags, {"set", "axis", "seeds", "seed-base", "threads", "quiet",
                            "out", "journal", "resume", "retries", "point-timeout",
-                           "sync-every", "fault"})) {
+                           "sync-every", "fault", "shard", "workers",
+                           "worker-retries", "worker-timeout"})) {
     return usage();
   }
   harness::SpecSweepOptions options;
@@ -249,7 +536,10 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
   std::int64_t threads = 0;
   std::int64_t retries = 0;
   std::int64_t sync_every = 0;
+  std::int64_t workers = 0;
+  std::int64_t worker_retries = 0;
   double point_timeout = 0.0;
+  double worker_timeout = 0.0;
   // seed-base default is the file's scenario.seed, same as `dtnsim run`,
   // so a one-point sweep and a plain run of the same cfg agree.
   if (!get_int_flag(flags, "seeds", 2, 1, INT32_MAX, seeds) ||
@@ -258,15 +548,45 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
       !get_int_flag(flags, "threads", 0, 0, 4096, threads) ||
       !get_int_flag(flags, "retries", 0, 0, 1000, retries) ||
       !get_int_flag(flags, "sync-every", 1, 0, INT32_MAX, sync_every) ||
-      !get_double_flag(flags, "point-timeout", 0.0, 0.0, 1e9, point_timeout)) {
+      !get_double_flag(flags, "point-timeout", 0.0, 0.0, 1e9, point_timeout) ||
+      !get_int_flag(flags, "workers", 0, 1, 256, workers) ||
+      !get_int_flag(flags, "worker-retries", 2, 0, 100, worker_retries) ||
+      !get_double_flag(flags, "worker-timeout", 0.0, 0.0, 1e9, worker_timeout)) {
     return 2;
   }
+  // A present-but-zero timeout is a config error, not "no watchdog": the
+  // user asked for a cap and got none.
+  if (flags.has("point-timeout") && point_timeout <= 0.0) {
+    std::fprintf(stderr, "dtnsim: --point-timeout must be > 0 (omit the flag to "
+                         "disable the per-point watchdog)\n");
+    return 2;
+  }
+  if (flags.has("worker-timeout") && worker_timeout <= 0.0) {
+    std::fprintf(stderr, "dtnsim: --worker-timeout must be > 0 (omit the flag to "
+                         "disable the worker liveness watchdog)\n");
+    return 2;
+  }
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  if (flags.has("shard")) {
+    if (flags.has("workers")) {
+      std::fprintf(stderr, "dtnsim: --shard and --workers are mutually exclusive "
+                           "(--workers assigns the shards itself)\n");
+      return 2;
+    }
+    if (!parse_shard_spec(flags.get_string("shard", ""), shard_index, shard_count)) {
+      return 2;
+    }
+  }
+  const bool fleet = flags.has("workers");
   options.seeds = static_cast<int>(seeds);
   options.seed_base = static_cast<std::uint64_t>(seed_base);
   options.threads = static_cast<std::size_t>(threads);
   options.retries = static_cast<int>(retries);
   options.sync_every = static_cast<int>(sync_every);
   options.point_timeout_s = point_timeout;
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
   // The CLI always isolates worker failures: one bad point out of ten
   // thousand must cost that point, not the campaign. (Structural errors —
   // bad axis keys, invalid specs — still fail fast at grid expansion.)
@@ -278,7 +598,11 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
   harness::SweepFaultPlan fault_plan;
   if (flags.has("fault")) {
     if (!parse_fault_spec(flags.get_string("fault", ""), fault_plan)) return 2;
-    options.fault_plan = &fault_plan;
+    // In fleet mode the plan is validated here but EXECUTED by the workers:
+    // the raw spec is forwarded to each shard's first spawn (restarts omit
+    // it — a restarted worker must not re-trip the fault it is recovering
+    // from), and the driver itself never simulates.
+    if (!fleet) options.fault_plan = &fault_plan;
   }
   if (!flags.get_bool("quiet", false)) {
     options.progress = [](const std::string& label) {
@@ -288,39 +612,78 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
   // Journal: explicit --journal, else ride alongside --out. Every
   // completed point streams into it (checksummed, fsync'd per
   // --sync-every), so a killed campaign resumes with --resume instead of
-  // starting over.
+  // starting over. In fleet mode the base path only anchors the shard
+  // work dir (`<base>.shards/`) — the driver itself never journals.
   const std::string out_path = flags.get_string("out", "");
-  options.journal_path = flags.get_string("journal", "");
-  if (options.journal_path.empty() && !out_path.empty()) {
-    options.journal_path = out_path + ".journal";
+  std::string journal_base = flags.get_string("journal", "");
+  if (journal_base.empty() && !out_path.empty()) {
+    journal_base = out_path + ".journal";
   }
-  if (options.resume && options.journal_path.empty()) {
+  if (fleet && journal_base.empty()) {
+    std::fprintf(stderr, "dtnsim: --workers needs --out or --journal to place "
+                         "the shard journals\n");
+    return 2;
+  }
+  if (!fleet) options.journal_path = journal_base;
+  if (options.resume && journal_base.empty()) {
     std::fprintf(stderr, "dtnsim: --resume needs --out or --journal to locate "
                          "the campaign journal\n");
     return 2;
   }
   // Open --out (via a sibling temp file) before the campaign runs: an
   // unwritable path must fail in seconds, not after hours of simulation
-  // with the JSON discarded. The temp + rename keeps a pre-existing
-  // results file intact until the new one is complete — a typo'd axis key
-  // (which throws inside run_spec_sweep) or a short write (disk full)
-  // must not wipe the previous campaign's results.
+  // with the JSON discarded — a config error (exit 2), not a runtime one.
+  // The temp + rename keeps a pre-existing results file intact until the
+  // new one is complete — a typo'd axis key (which throws inside
+  // run_spec_sweep) or a short write (disk full) must not wipe the
+  // previous campaign's results.
   const std::string tmp_path = out_path + ".tmp";
   std::FILE* out_file = nullptr;
   if (!out_path.empty()) {
     out_file = std::fopen(tmp_path.c_str(), "w");
     if (out_file == nullptr) {
       std::fprintf(stderr, "dtnsim: cannot write '%s'\n", out_path.c_str());
-      return 1;
+      return 2;
     }
   }
   std::size_t grid = 1;
   for (const auto& axis : options.axes) grid *= axis.values.size();
   std::printf("sweep '%s': %zu point(s) x %d seed(s)\n", options.base.name.c_str(),
               grid, options.seeds);
+  if (shard_count > 1) {
+    const std::size_t mine =
+        grid / shard_count + (shard_index < grid % shard_count ? 1 : 0);
+    std::printf("shard %zu/%zu: executing %zu of %zu point(s)\n", shard_index,
+                shard_count, mine, grid);
+  }
+  const std::string shard_dir = journal_base + ".shards";
+  if (fleet) {
+    std::printf("workers: %lld (shard journals under '%s')\n",
+                static_cast<long long>(workers), shard_dir.c_str());
+  }
   std::vector<harness::SpecPointResult> results;
+  harness::SweepMergeStats merge_stats;
+  std::vector<std::string> shard_journals;
   try {
-    results = harness::run_spec_sweep(options);
+    if (fleet) {
+      const int fleet_rc = run_worker_fleet(
+          path, flags, options, static_cast<std::size_t>(workers),
+          static_cast<int>(worker_retries), worker_timeout, shard_dir, argv0,
+          shard_journals);
+      if (fleet_rc != 0) {
+        if (out_file != nullptr) {
+          std::fclose(out_file);
+          std::remove(tmp_path.c_str());
+        }
+        return fleet_rc;
+      }
+      results = harness::merge_sweep_journals(options, shard_journals, &merge_stats);
+      std::printf("merged %zu shard journal(s): %zu ok, %zu failed, %zu missing\n",
+                  merge_stats.journals_read, merge_stats.points_ok,
+                  merge_stats.points_failed, merge_stats.points_missing);
+    } else {
+      results = harness::run_spec_sweep(options);
+    }
   } catch (...) {
     if (out_file != nullptr) {
       std::fclose(out_file);
@@ -332,13 +695,24 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
   std::size_t failed_points = 0;
   for (const auto& point : results) {
     if (point.exec.resumed) ++resumed_points;
-    if (!point.exec.ok()) ++failed_points;
+    if (point.exec.failed()) ++failed_points;
   }
-  if (options.resume) {
+  if (options.resume && !fleet) {
     std::printf("resumed %zu completed point(s) from the journal; recomputed %zu\n",
                 resumed_points, results.size() - resumed_points);
   }
-  std::printf("\n%s", harness::sweep_table(results).to_string().c_str());
+  // The table shows what THIS invocation stands behind: a standalone shard
+  // prints only its own slice (skipped rows are another process's job);
+  // the JSON keeps every point, skipped ones marked as such.
+  if (shard_count > 1) {
+    std::vector<harness::SpecPointResult> mine;
+    for (const auto& point : results) {
+      if (!point.exec.skipped()) mine.push_back(point);
+    }
+    std::printf("\n%s", harness::sweep_table(mine).to_string().c_str());
+  } else {
+    std::printf("\n%s", harness::sweep_table(results).to_string().c_str());
+  }
   if (out_file != nullptr) {
     const std::string json = harness::sweep_results_json(options, results);
     const bool wrote = std::fputs(json.c_str(), out_file) != EOF;
@@ -356,27 +730,93 @@ int cmd_sweep(const std::string& path, const util::Flags& flags) {
     }
     std::printf("wrote %s\n", out_path.c_str());
   }
-  // Loud end-of-campaign failure summary (the journal keeps the failed
+  // Loud end-of-campaign failure summary (the journals keep the failed
   // records, so `--resume` retries exactly these points).
   if (failed_points != 0) {
     std::fprintf(stderr, "dtnsim: %zu point(s) FAILED:\n", failed_points);
     for (const auto& point : results) {
-      if (point.exec.ok()) continue;
+      if (!point.exec.failed()) continue;
       const std::string label = point.overrides.empty() ? "(single point)"
                                                         : point.label();
       std::fprintf(stderr, "  %s: %s (after %d attempt(s))\n", label.c_str(),
                    point.exec.error.c_str(), point.exec.tries);
     }
-    if (!options.journal_path.empty()) {
+    if (fleet) {
+      std::fprintf(stderr, "dtnsim: shard journals kept under '%s'; rerun the "
+                           "same --workers command with --resume to retry "
+                           "exactly the failed/missing points\n",
+                   shard_dir.c_str());
+    } else if (!options.journal_path.empty()) {
       std::fprintf(stderr, "dtnsim: journal kept at '%s'; rerun with --resume "
                            "to retry the failed points\n",
                    options.journal_path.c_str());
     }
     return 1;
   }
-  // Fully successful campaign: the results file supersedes the journal.
-  if (!options.journal_path.empty()) std::remove(options.journal_path.c_str());
+  // Fully clean campaign: the results file supersedes the journals.
+  if (fleet) {
+    for (const auto& journal : shard_journals) std::remove(journal.c_str());
+    std::remove(shard_dir.c_str());
+  } else if (shard_count > 1) {
+    // A standalone shard's journal is an INPUT to the campaign merge —
+    // deleting it here would throw away this process's contribution.
+    std::printf("shard journal kept at '%s' (input to the campaign merge)\n",
+                options.journal_path.c_str());
+  } else if (!options.journal_path.empty()) {
+    std::remove(options.journal_path.c_str());
+  }
   return 0;
+}
+
+/// `dtnsim journal <file>`: offline diagnosis of a campaign journal —
+/// framing health (intact records, valid prefix, torn tail), the campaign
+/// fingerprint shape, and the per-point record census. Every printed field
+/// derives from the file's bytes alone (no wall times), so the output is
+/// golden-testable. Exit 0 when the journal is intact, 1 when it is
+/// missing/damaged (a torn tail is still safe to resume — the verdict line
+/// says so).
+int cmd_journal(const std::string& path) {
+  const harness::JournalInspection info = harness::inspect_sweep_journal(path);
+  if (info.missing) {
+    std::fprintf(stderr, "dtnsim: journal '%s' does not exist\n", path.c_str());
+    return 1;
+  }
+  if (info.io_error) {
+    std::fprintf(stderr, "dtnsim: cannot read journal '%s'\n", path.c_str());
+    return 1;
+  }
+  std::printf("journal '%s'\n", path.c_str());
+  std::printf("  intact records: %zu (%llu byte(s) valid prefix)\n", info.records,
+              static_cast<unsigned long long>(info.valid_bytes));
+  if (info.dropped_bytes == 0) {
+    std::printf("  torn tail:      none (clean EOF)\n");
+  } else {
+    std::printf("  torn tail:      %llu byte(s) dropped after the valid prefix\n",
+                static_cast<unsigned long long>(info.dropped_bytes));
+  }
+  if (info.malformed_records != 0) {
+    std::printf("  malformed:      %zu record(s) framed intact but unparsable\n",
+                info.malformed_records);
+  }
+  if (info.campaign) {
+    std::printf("  campaign:       %zu point(s) x %d seed(s), seed base %llu, "
+                "%zu axis(es)\n",
+                info.grid_points, info.seeds,
+                static_cast<unsigned long long>(info.seed_base), info.axes);
+    std::printf("  points:         %zu of %zu recorded (%zu ok, %zu failed)\n",
+                info.points_recorded, info.grid_points, info.points_ok,
+                info.points_failed);
+  } else {
+    std::printf("  campaign:       none (first record is not a dtnsim sweep "
+                "fingerprint)\n");
+  }
+  if (info.intact()) {
+    std::printf("  verdict:        INTACT (safe to resume or merge as-is)\n");
+    return 0;
+  }
+  std::printf("  verdict:        DAMAGED (--resume keeps the valid prefix and "
+              "recomputes the rest)\n");
+  return 1;
 }
 
 int cmd_print(const std::string& path, const util::Flags& flags) {
@@ -445,7 +885,12 @@ int main(int argc, char** argv) {
     if (args.size() < 2) return usage();
     const std::string& path = args[1];
     if (cmd == "run") return cmd_run(path, flags);
-    if (cmd == "sweep") return cmd_sweep(path, flags);
+    if (cmd == "sweep") {
+      return cmd_sweep(path, flags, argc > 0 ? argv[0] : "dtnsim");
+    }
+    if (cmd == "journal") {
+      return check_flags(flags, {}) ? cmd_journal(path) : usage();
+    }
     if (cmd == "print") return cmd_print(path, flags);
     if (cmd == "check") {
       return check_flags(flags, {}) ? cmd_check(path) : usage();
