@@ -129,6 +129,23 @@ golden_case("sweep --workers without journal anchor" ${CLI_DIR} 2
             "" sweep_workers_no_out.stderr
             sweep resume.cfg --workers 2)
 
+# ---- multi-host fabric validation (all exit 2, refused before any I/O) ------
+golden_case("serve without --port" ${CLI_DIR} 2
+            "" serve_no_port.stderr
+            serve)
+golden_case("serve --port out of range" ${CLI_DIR} 2
+            "" serve_bad_port.stderr
+            serve --port 70000)
+golden_case("sweep malformed --hosts entry" ${CLI_DIR} 2
+            "" sweep_bad_hosts.stderr
+            sweep resume.cfg --hosts 127.0.0.1)
+golden_case("sweep --hosts without journal anchor" ${CLI_DIR} 2
+            "" sweep_hosts_no_out.stderr
+            sweep resume.cfg --hosts 127.0.0.1:19)
+golden_case("sweep --shard with --hosts" ${CLI_DIR} 2
+            "" sweep_shard_hosts_conflict.stderr
+            sweep resume.cfg --shard 0/2 --hosts 127.0.0.1:19)
+
 # ---- journal inspection ------------------------------------------------------
 # The committed torn-tail fixture: a real two-point campaign journal (one
 # ok record, one failed record) with garbage appended behind the valid

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <thread>
 #include <utility>
 
@@ -701,9 +702,15 @@ std::vector<SpecPointResult> run_spec_sweep(const SpecSweepOptions& options) {
   return std::move(grid.points);
 }
 
+std::string sweep_campaign_fingerprint(const SpecSweepOptions& options) {
+  std::size_t total = 1;
+  for (const auto& axis : options.axes) total *= axis.values.size();
+  return campaign_fingerprint(options, total);
+}
+
 std::vector<SpecPointResult> merge_sweep_journals(
     const SpecSweepOptions& options, const std::vector<std::string>& journal_paths,
-    SweepMergeStats* stats) {
+    SweepMergeStats* stats, const std::vector<std::string>& origins) {
   ExpandedGrid grid = expand_sweep_grid(options);
   const std::size_t total = grid.total;
   const int seeds = std::max(options.seeds, 0);
@@ -752,6 +759,7 @@ std::vector<SpecPointResult> merge_sweep_journals(
       owner[p] = j;
       if (!parse_point_record(*latest[p], total, seeds, record)) continue;
       grid.points[p].exec = record.exec;  // parser sets resumed = true
+      if (j < origins.size()) grid.points[p].exec.origin = origins[j];
       if (record.exec.ok()) {
         // Seed-order fold of the journaled hexfloat samples — the same
         // fold a live run performs, so the aggregates are bit-identical
@@ -825,14 +833,30 @@ JournalInspection inspect_sweep_journal(const std::string& path) {
       ++out.malformed_records;
     }
   }
-  for (const char s : status) {
-    if (s == 0) continue;
+  std::size_t min_idx = 0;
+  bool have_min = false;
+  std::size_t modulus = 0;  // gcd of (idx - min_idx) over recorded indices
+  for (std::size_t p = 0; p < status.size(); ++p) {
+    if (status[p] == 0) continue;
     ++out.points_recorded;
-    if (s == 1) {
+    if (status[p] == 1) {
       ++out.points_ok;
     } else {
       ++out.points_failed;
     }
+    if (!have_min) {
+      min_idx = p;
+      have_min = true;
+    } else {
+      modulus = std::gcd(modulus, p - min_idx);
+    }
+  }
+  // Shard coverage audit: the largest `index % N == i` selector every
+  // recorded index satisfies. Needs >= 2 distinct indices — with fewer,
+  // every selector fits and the inference says nothing (modulus 0).
+  if (modulus > 0) {
+    out.shard_modulus = modulus;
+    out.shard_residue = min_idx % modulus;
   }
   return out;
 }
@@ -1030,7 +1054,9 @@ std::string sweep_results_json(const SpecSweepOptions& options,
                                               : "failed") +
            ", \"tries\": " + std::to_string(point.exec.tries) +
            ", \"wall_ms\": " + json_number(point.exec.wall_ms) +
-           ", \"resumed\": " + (point.exec.resumed ? "true" : "false");
+           ", \"resumed\": " + (point.exec.resumed ? "true" : "false") +
+           ", \"origin\": " +
+           json_string(point.exec.origin.empty() ? "local" : point.exec.origin);
     if (point.exec.failed()) out += ", \"error\": " + json_string(point.exec.error);
     out += "},\n     \"metrics\": {";
     append_stat(out, "delivery_ratio", point.result.delivery_ratio);

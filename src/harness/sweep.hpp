@@ -173,6 +173,12 @@ struct PointExec {
   int tries = 0;        ///< simulation attempts across all seeds (== seeds clean)
   double wall_ms = 0.0; ///< total attempt wall time (monotonic clock)
   bool resumed = false; ///< replayed from a journal, not recomputed
+  /// Where this point's record was computed: "" = this process (serialized
+  /// as "local"), "host:port" for a shard shipped back by a remote worker
+  /// daemon. Set by merge_sweep_journals from its `origins` argument;
+  /// volatile metadata (lives on the filtered `"exec` lines, not in the
+  /// journal — any origin recomputes bit-identically).
+  std::string origin;
   [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
   [[nodiscard]] bool failed() const noexcept { return status == Status::kFailed; }
   /// Point belongs to another shard (see SpecSweepOptions::shard_index);
@@ -199,6 +205,14 @@ class SweepJournalError : public std::runtime_error {
  public:
   explicit SweepJournalError(const std::string& what) : std::runtime_error(what) {}
 };
+
+/// The campaign identity used by journals, resume, merge — and the
+/// multi-host fabric's HELLO handshake (harness/remote.hpp): canonical
+/// base spec + every axis + the seed schedule + grid size. Deliberately
+/// EXCLUDES the shard selector and thread count (they cannot change any
+/// result bit), so every shard of one campaign — local or remote —
+/// carries the identical fingerprint.
+std::string sweep_campaign_fingerprint(const SpecSweepOptions& options);
 
 /// Runs the declarative grid; points ordered by the axis cross product
 /// (first axis outermost). Throws SpecError on an invalid axis key/value,
@@ -234,9 +248,15 @@ struct SweepMergeStats {
 /// come back failed-with-reason so the campaign completes with exit-1
 /// semantics instead of refusing to publish the survivors. Unreadable
 /// (existing but I/O-failing) paths throw.
+/// `origins` (optional) labels each journal with where its shard ran —
+/// aligned index-for-index with `journal_paths`, "" (or a short vector)
+/// meaning "this host"; the label lands in PointExec::origin of every
+/// point that journal owns and surfaces on the volatile `"exec` lines of
+/// sweep_results_json.
 std::vector<SpecPointResult> merge_sweep_journals(
     const SpecSweepOptions& options, const std::vector<std::string>& journal_paths,
-    SweepMergeStats* stats = nullptr);
+    SweepMergeStats* stats = nullptr,
+    const std::vector<std::string>& origins = {});
 
 /// Offline journal diagnosis for `dtnsim journal <file>`: framing health
 /// (intact records, valid prefix, torn tail) plus — when the first record
@@ -257,6 +277,16 @@ struct JournalInspection {
   std::size_t points_ok = 0;
   std::size_t points_failed = 0;
   std::size_t malformed_records = 0;  ///< framed fine but unparsable payload
+  /// Shard selector coverage implied by the recorded point indices, for
+  /// offline audit of a shard dir (`dtnsim journal`): the LARGEST modulo
+  /// assignment `index % modulus == residue` consistent with every index
+  /// present (gcd of the pairwise differences). modulus == 0 means too few
+  /// distinct indices to infer anything (0 or 1 recorded); modulus == 1
+  /// means only the whole-grid selector 0/1 fits. A shard i/N journal
+  /// reports modulus == k*N for some k >= 1 with residue ≡ i (mod N) —
+  /// shard 2/4 that has only hit every other of its points reads 2/8.
+  std::size_t shard_modulus = 0;
+  std::size_t shard_residue = 0;
   /// Journal is safe to resume/merge as-is: it exists, read cleanly, lost
   /// no bytes, and every non-header record parsed.
   [[nodiscard]] bool intact() const noexcept {

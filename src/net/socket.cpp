@@ -1,0 +1,341 @@
+#include "net/socket.hpp"
+
+#ifndef _WIN32
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dtn::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool set_nonblocking(int fd, bool on) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if (on) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  return ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
+// poll() one fd for `events`, retrying EINTR against the original
+// deadline. Returns poll's result semantics: >0 ready, 0 timeout, <0 error.
+int poll_fd(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+}  // namespace
+
+// ---- Stream -----------------------------------------------------------------
+
+Stream::~Stream() { close(); }
+
+Stream::Stream(Stream&& other) noexcept
+    : fd_(other.fd_), error_(std::move(other.error_)) {
+  other.fd_ = -1;
+}
+
+Stream& Stream::operator=(Stream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    error_ = std::move(other.error_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Stream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Stream Stream::connect(const std::string& host, int port, int timeout_ms,
+                       std::string* error) {
+  Stream out;
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    if (error) *error = "resolve " + host + ": " + ::gai_strerror(rc);
+    return out;
+  }
+  std::string last = "no addresses";
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = errno_string("socket");
+      continue;
+    }
+    if (!set_nonblocking(fd, true)) {
+      last = errno_string("fcntl");
+      ::close(fd);
+      continue;
+    }
+    rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno != EINPROGRESS) {
+      last = errno_string("connect");
+      ::close(fd);
+      continue;
+    }
+    if (rc != 0) {
+      int ready = poll_fd(fd, POLLOUT, timeout_ms);
+      if (ready <= 0) {
+        last = ready == 0 ? "connect timed out" : errno_string("poll");
+        ::close(fd);
+        continue;
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+          soerr != 0) {
+        last = std::string("connect: ") + std::strerror(soerr ? soerr : errno);
+        ::close(fd);
+        continue;
+      }
+    }
+    if (!set_nonblocking(fd, false)) {
+      last = errno_string("fcntl");
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(res);
+    out.fd_ = fd;
+    return out;
+  }
+  ::freeaddrinfo(res);
+  if (error) *error = "connect " + host + ":" + port_str + ": " + last;
+  return out;
+}
+
+bool Stream::send_all(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = errno_string("send");
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+RecvStatus Stream::recv_some(void* buf, std::size_t cap, int timeout_ms,
+                             std::size_t* got) {
+  *got = 0;
+  int ready = poll_fd(fd_, POLLIN, timeout_ms);
+  if (ready == 0) return RecvStatus::kTimeout;
+  if (ready < 0) {
+    error_ = errno_string("poll");
+    return RecvStatus::kError;
+  }
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = errno_string("recv");
+      return RecvStatus::kError;
+    }
+    if (n == 0) return RecvStatus::kEof;
+    *got = static_cast<std::size_t>(n);
+    return RecvStatus::kData;
+  }
+}
+
+std::string Stream::peer() const {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (fd_ < 0 ||
+      ::getpeername(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+          0 ||
+      addr.sin_family != AF_INET) {
+    return "?";
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  if (!::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip))) return "?";
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+// ---- Listener ---------------------------------------------------------------
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+Listener Listener::open(const std::string& bind_addr, int port,
+                        std::string* error) {
+  Listener out;
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad bind address (IPv4 expected): " + bind_addr;
+    return out;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = errno_string("socket");
+    return out;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error) {
+      *error = "bind " + bind_addr + ":" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    }
+    ::close(fd);
+    return out;
+  }
+  if (::listen(fd, 16) != 0) {
+    if (error) *error = errno_string("listen");
+    ::close(fd);
+    return out;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    if (error) *error = errno_string("getsockname");
+    ::close(fd);
+    return out;
+  }
+  out.fd_ = fd;
+  out.port_ = ntohs(addr.sin_port);
+  return out;
+}
+
+Stream Listener::accept(int timeout_ms, std::string* error) {
+  if (error) error->clear();
+  Stream out;
+  if (fd_ < 0) {
+    if (error) *error = "listener is closed";
+    return out;
+  }
+  int ready = poll_fd(fd_, POLLIN, timeout_ms);
+  if (ready == 0) return out;  // timeout: closed stream, empty error
+  if (ready < 0) {
+    if (error) *error = errno_string("poll");
+    return out;
+  }
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = errno_string("accept");
+      return out;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    out.fd_ = fd;
+    return out;
+  }
+}
+
+}  // namespace dtn::net
+
+#else  // _WIN32
+
+// Windows stubs: the fabric is POSIX-only for now (same policy as
+// util/subprocess). Everything fails cleanly with a diagnostic.
+
+namespace dtn::net {
+
+Stream::~Stream() = default;
+Stream::Stream(Stream&&) noexcept {}
+Stream& Stream::operator=(Stream&&) noexcept { return *this; }
+void Stream::close() {}
+
+Stream Stream::connect(const std::string&, int, int, std::string* error) {
+  if (error) *error = "net::Stream is not supported on this platform";
+  return Stream();
+}
+
+bool Stream::send_all(const void*, std::size_t) {
+  error_ = "net::Stream is not supported on this platform";
+  return false;
+}
+
+RecvStatus Stream::recv_some(void*, std::size_t, int, std::size_t* got) {
+  *got = 0;
+  error_ = "net::Stream is not supported on this platform";
+  return RecvStatus::kError;
+}
+
+std::string Stream::peer() const { return "?"; }
+
+Listener::~Listener() = default;
+Listener::Listener(Listener&&) noexcept {}
+Listener& Listener::operator=(Listener&&) noexcept { return *this; }
+void Listener::close() {}
+
+Listener Listener::open(const std::string&, int, std::string* error) {
+  if (error) *error = "net::Listener is not supported on this platform";
+  return Listener();
+}
+
+Stream Listener::accept(int, std::string* error) {
+  if (error) *error = "net::Listener is not supported on this platform";
+  return Stream();
+}
+
+}  // namespace dtn::net
+
+#endif  // _WIN32

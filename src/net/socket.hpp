@@ -1,0 +1,95 @@
+#pragma once
+// Minimal blocking TCP socket layer for the multi-host campaign fabric.
+//
+// Scope is deliberately narrow: IPv4, blocking I/O with poll-based
+// timeouts, no TLS, no auth. `dtnsim serve` binds it to loopback or a
+// trusted-network interface; see README "Multi-host campaigns" for the
+// security posture. Like util/subprocess, the Windows build gets clean
+// stubs that fail with a diagnostic instead of an #error.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace dtn::net {
+
+// Outcome of a single receive with a deadline.
+enum class RecvStatus {
+  kData,     // >= 1 byte received
+  kTimeout,  // deadline expired with no data
+  kEof,      // orderly peer shutdown
+  kError,    // socket error (message in Stream::last_error())
+};
+
+// A connected TCP stream. Move-only wrapper over one file descriptor.
+class Stream {
+ public:
+  Stream() = default;
+  ~Stream();
+  Stream(Stream&& other) noexcept;
+  Stream& operator=(Stream&& other) noexcept;
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  // Connect to host:port with a bounded wait. Returns a closed stream on
+  // failure and describes why in `error`.
+  static Stream connect(const std::string& host, int port, int timeout_ms,
+                        std::string* error);
+
+  bool open() const { return fd_ >= 0; }
+  void close();
+
+  // Write the whole buffer (retrying short writes). False on error; the
+  // peer resetting the connection is an error, not a crash (SIGPIPE is
+  // suppressed).
+  bool send_all(const void* data, std::size_t len);
+
+  // Read up to `cap` bytes with a deadline. On kData, `*got` holds the
+  // byte count. timeout_ms < 0 blocks indefinitely.
+  RecvStatus recv_some(void* buf, std::size_t cap, int timeout_ms,
+                       std::size_t* got);
+
+  // "host:port" of the peer, best effort ("?" when unavailable).
+  std::string peer() const;
+
+  const std::string& last_error() const { return error_; }
+
+ private:
+  explicit Stream(int fd) : fd_(fd) {}
+  friend class Listener;
+
+  int fd_ = -1;
+  std::string error_;
+};
+
+// A listening TCP socket. Move-only.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Bind and listen on bind_addr:port (IPv4 dotted quad or "0.0.0.0").
+  // port 0 picks an ephemeral port; the bound port is in port() after a
+  // successful open. Returns a closed listener + `error` on failure.
+  static Listener open(const std::string& bind_addr, int port,
+                       std::string* error);
+
+  bool is_open() const { return fd_ >= 0; }
+  int port() const { return port_; }
+  void close();
+
+  // Wait up to timeout_ms for one connection. Returns a closed Stream on
+  // timeout or error; `error` (optional) distinguishes the two (empty on
+  // timeout). timeout_ms < 0 blocks indefinitely.
+  Stream accept(int timeout_ms, std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace dtn::net

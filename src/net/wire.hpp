@@ -1,0 +1,98 @@
+#pragma once
+// Length-prefixed, CRC-32-checksummed message framing for the campaign
+// fabric, reusing the `%DTNJ1` header discipline from harness/journal:
+//
+//   %DTNW1 <type> <payload-len> <crc32-hex8>\n<payload>\n
+//
+// `type` is a lowercase token (hello/assign/progress/journal/done/error),
+// the length is decimal bytes of the payload alone, and the CRC (IEEE
+// 802.3, util/checksum) covers the payload alone. Unlike the journal —
+// where a torn tail is expected and recovery keeps the longest valid
+// prefix — a framing violation on an in-order byte stream means the peer
+// is broken or foreign, so corruption is terminal: the decoder latches
+// kCorrupt and the connection must be dropped.
+
+#include <cstddef>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace dtn::net {
+
+enum class MessageType {
+  kHello,     // protocol version + campaign fingerprint
+  kAssign,    // serialized base spec + axes + shard selector
+  kProgress,  // journal-growth heartbeat: valid records + byte length
+  kJournal,   // the shard's journal bytes shipped back
+  kDone,      // shard finished (payload: "0" clean / "1" with failures)
+  kError,     // terminal failure, payload is the diagnostic
+};
+
+// Lowercase wire token for a message type ("hello", "assign", ...).
+const char* message_type_token(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kError;
+  std::string payload;
+};
+
+// Serialize one frame (header + payload + trailing newline).
+std::string encode_frame(MessageType type, const std::string& payload);
+
+// Incremental frame parser over an in-order byte stream. Feed bytes as
+// they arrive; next() yields complete messages. Any malformed header,
+// oversized length, checksum mismatch, or missing terminator latches the
+// decoder into the corrupt state permanently.
+class FrameDecoder {
+ public:
+  enum class Result {
+    kMessage,   // *out holds the next complete message
+    kNeedMore,  // no complete frame buffered yet
+    kCorrupt,   // stream violated the framing; terminal
+  };
+
+  // Largest payload a frame may carry (shard journals are typically KBs
+  // to low MBs; anything past this is a corrupt length field).
+  static constexpr std::size_t kMaxPayload = 256ull * 1024 * 1024;
+
+  void feed(const char* data, std::size_t len);
+  void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
+
+  Result next(Message* out);
+
+  bool corrupt() const { return corrupt_; }
+  const std::string& corrupt_reason() const { return corrupt_reason_; }
+
+  // Bytes buffered but not yet part of a yielded message. Nonzero at EOF
+  // means the peer died mid-frame.
+  std::size_t pending() const { return buffer_.size() - consumed_; }
+
+ private:
+  Result fail(const std::string& reason);
+
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // bytes of buffer_ already parsed
+  bool corrupt_ = false;
+  std::string corrupt_reason_;
+};
+
+// Outcome of a blocking receive of one complete message.
+enum class WireRecvStatus {
+  kMessage,
+  kTimeout,  // deadline expired before a full frame arrived
+  kEof,      // peer closed cleanly between frames
+  kCorrupt,  // framing violation (decoder reason in *error)
+  kError,    // socket error (in *error)
+};
+
+// Encode + send one frame on the stream.
+bool send_message(Stream& stream, MessageType type,
+                  const std::string& payload);
+
+// Receive exactly one message, pulling bytes through `decoder` with an
+// overall deadline. EOF mid-frame reports kCorrupt, not kEof.
+WireRecvStatus recv_message(Stream& stream, FrameDecoder& decoder,
+                            int timeout_ms, Message* out,
+                            std::string* error);
+
+}  // namespace dtn::net

@@ -1,6 +1,7 @@
 #include "util/subprocess.hpp"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -130,12 +131,46 @@ void Subprocess::kill_hard() {
   if (pid_ > 0 && !reaped_) ::kill(static_cast<pid_t>(pid_), SIGKILL);
 }
 
-std::string self_exe_path() {
+std::string self_exe_path(const std::string& argv0_fallback) {
   char buf[4096];
   const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
-  if (len <= 0) return "";
-  buf[len] = '\0';
-  return buf;
+  if (len > 0) {
+    buf[len] = '\0';
+    return buf;
+  }
+  if (argv0_fallback.empty()) return "";
+  return resolve_executable(argv0_fallback);
+}
+
+std::string resolve_executable(const std::string& argv0) {
+  if (argv0.empty()) return "";
+  if (argv0.front() == '/') return argv0;
+  if (argv0.find('/') != std::string::npos) {
+    // Relative path: pin it down now — the supervisor may chdir later.
+    char resolved[4096];
+    if (::realpath(argv0.c_str(), resolved) != nullptr) return resolved;
+    return "";
+  }
+  // Bare command name: walk $PATH like the shell that launched us did.
+  const char* path_env = ::getenv("PATH");
+  if (path_env == nullptr) return "";
+  const std::string path(path_env);
+  std::size_t at = 0;
+  while (at <= path.size()) {
+    std::size_t colon = path.find(':', at);
+    if (colon == std::string::npos) colon = path.size();
+    // An empty $PATH entry means the current directory, per POSIX.
+    const std::string dir =
+        colon > at ? path.substr(at, colon - at) : std::string(".");
+    at = colon + 1;
+    const std::string candidate = dir + "/" + argv0;
+    if (::access(candidate.c_str(), X_OK) == 0) {
+      char resolved[4096];
+      if (::realpath(candidate.c_str(), resolved) != nullptr) return resolved;
+      return candidate;
+    }
+  }
+  return "";
 }
 
 #else  // _WIN32 stubs: the multi-process fabric is POSIX-gated.
@@ -151,7 +186,9 @@ ProcessStatus Subprocess::wait() { return last_; }
 
 void Subprocess::kill_hard() {}
 
-std::string self_exe_path() { return ""; }
+std::string self_exe_path(const std::string&) { return ""; }
+
+std::string resolve_executable(const std::string&) { return ""; }
 
 #endif
 

@@ -73,8 +73,16 @@ class Subprocess {
 };
 
 /// Absolute path of the currently running executable (/proc/self/exe on
-/// Linux). Empty when the platform offers no answer — callers fall back
-/// to argv[0].
-std::string self_exe_path();
+/// Linux). When the platform offers no answer (procless chroots, most
+/// BSDs without procfs), falls back to resolving `argv0_fallback` via
+/// resolve_executable — callers that know their argv[0] thread it
+/// through instead of failing. Empty only when both sources come up dry.
+std::string self_exe_path(const std::string& argv0_fallback = "");
+
+/// Resolves an argv[0]-style command name to an absolute executable path:
+/// absolute paths pass through, relative paths containing '/' resolve
+/// against the current directory (realpath), bare names search $PATH for
+/// an executable entry. Empty string when nothing resolves.
+std::string resolve_executable(const std::string& argv0);
 
 }  // namespace dtn::util

@@ -317,5 +317,71 @@ TEST_F(SweepShardTest, InspectJournalReportsCampaignAndDamage) {
   EXPECT_FALSE(gone.intact());
 }
 
+TEST_F(SweepShardTest, InspectJournalInfersTheShardSelector) {
+  // Use more seeds so the 3-point grid becomes a 3-point grid regardless;
+  // widen the axis to 6 points so strides are visible.
+  SpecSweepOptions opt = base_options(1);
+  opt.axes = {{"protocol.copies", {"1", "2", "3", "4", "6", "8"}}};
+
+  // A whole-grid journal: consecutive indices share stride 1.
+  SpecSweepOptions whole = opt;
+  whole.journal_path = journal_path(0);
+  run_spec_sweep(whole);
+  JournalInspection info = inspect_sweep_journal(whole.journal_path);
+  EXPECT_EQ(info.shard_modulus, 1u);
+  EXPECT_EQ(info.shard_residue, 0u);
+
+  // Shard 1/3 records indices 1 and 4: gcd of gaps is 3, residue 1.
+  SpecSweepOptions shard = opt;
+  shard.shard_index = 1;
+  shard.shard_count = 3;
+  shard.journal_path = journal_path(1);
+  run_spec_sweep(shard);
+  info = inspect_sweep_journal(shard.journal_path);
+  EXPECT_EQ(info.shard_modulus, 3u);
+  EXPECT_EQ(info.shard_residue, 1u);
+
+  // A shard with fewer than two recorded points implies no stride at all.
+  SpecSweepOptions lone = opt;
+  lone.shard_index = 5;
+  lone.shard_count = 6;
+  lone.journal_path = journal_path(2);
+  run_spec_sweep(lone);
+  info = inspect_sweep_journal(lone.journal_path);
+  EXPECT_EQ(info.points_recorded, 1u);
+  EXPECT_EQ(info.shard_modulus, 0u);
+}
+
+TEST_F(SweepShardTest, MergeRecordsPerShardOrigins) {
+  // The merge annotates each recorded point with the origin of the
+  // journal that carried it — "host:port" for a shard a remote daemon
+  // shipped back, "" (rendered "local" in the JSON) otherwise. Origins
+  // are volatile metadata: they ride the filterable `"exec` lines only.
+  SpecSweepOptions opt = base_options(1);
+  std::vector<std::string> journals;
+  for (std::size_t s = 0; s < 2; ++s) {
+    SpecSweepOptions shard = opt;
+    shard.shard_index = s;
+    shard.shard_count = 2;
+    shard.journal_path = journal_path(s);
+    run_spec_sweep(shard);
+    journals.push_back(shard.journal_path);
+  }
+  SweepMergeStats stats;
+  const std::vector<std::string> origins = {"", "10.0.0.2:7700"};
+  const auto merged = merge_sweep_journals(opt, journals, &stats, origins);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].exec.origin, "");            // shard 0: local
+  EXPECT_EQ(merged[1].exec.origin, "10.0.0.2:7700");  // shard 1: remote
+  EXPECT_EQ(merged[2].exec.origin, "");
+  const std::string json = sweep_results_json(opt, merged);
+  EXPECT_NE(json.find("\"origin\": \"local\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"origin\": \"10.0.0.2:7700\""), std::string::npos)
+      << json;
+  // Omitting origins (every in-process caller) leaves every point local.
+  const auto plain = merge_sweep_journals(opt, journals, &stats);
+  for (const auto& point : plain) EXPECT_EQ(point.exec.origin, "");
+}
+
 }  // namespace
 }  // namespace dtn::harness

@@ -1,0 +1,224 @@
+// Properties of the %DTNW1 wire framing (net/wire.hpp) — the transport
+// integrity layer under the multi-host campaign fabric — plus a loopback
+// smoke of the blocking socket wrappers (net/socket.hpp). The framing
+// discipline mirrors the sweep journal's (%DTNJ1: length + CRC-32), but
+// the recovery posture is the opposite: a journal salvages its longest
+// valid prefix, while a TCP stream latches corrupt — there is no
+// resynchronization point inside a byte stream.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace {
+
+using dtn::net::FrameDecoder;
+using dtn::net::Message;
+using dtn::net::MessageType;
+
+const std::vector<MessageType> kAllTypes = {
+    MessageType::kHello,   MessageType::kAssign, MessageType::kProgress,
+    MessageType::kJournal, MessageType::kDone,   MessageType::kError,
+};
+
+// Payloads chosen to attack the framing: empty, binary with NULs and
+// newlines, an embedded frame magic, and a header-shaped line.
+const std::vector<std::string> kPayloads = {
+    "",
+    "plain text",
+    std::string("\x00\x01\xff\n\r\x1f binary", 12),
+    "%DTNW1 hello 5 00000000\nnested magic",
+    "progress 3 4096",
+    std::string(100000, 'x'),
+};
+
+TEST(WireFrame, RoundTripsEveryTypeAndPayload) {
+  for (MessageType type : kAllTypes) {
+    for (const std::string& payload : kPayloads) {
+      const std::string frame = dtn::net::encode_frame(type, payload);
+      FrameDecoder decoder;
+      decoder.feed(frame.data(), frame.size());
+      Message msg;
+      ASSERT_EQ(decoder.next(&msg), FrameDecoder::Result::kMessage);
+      EXPECT_EQ(msg.type, type);
+      EXPECT_EQ(msg.payload, payload);
+      EXPECT_EQ(decoder.next(&msg), FrameDecoder::Result::kNeedMore);
+      EXPECT_FALSE(decoder.corrupt());
+    }
+  }
+}
+
+TEST(WireFrame, ByteAtATimeFeedYieldsTheSameMessages) {
+  std::string stream;
+  for (MessageType type : kAllTypes) {
+    stream += dtn::net::encode_frame(type, "payload for " +
+                                               std::string(message_type_token(type)));
+  }
+  FrameDecoder decoder;
+  std::vector<Message> got;
+  for (char byte : stream) {
+    decoder.feed(&byte, 1);
+    Message msg;
+    while (decoder.next(&msg) == FrameDecoder::Result::kMessage) {
+      got.push_back(msg);
+    }
+    ASSERT_FALSE(decoder.corrupt());
+  }
+  ASSERT_EQ(got.size(), kAllTypes.size());
+  for (std::size_t i = 0; i < kAllTypes.size(); ++i) {
+    EXPECT_EQ(got[i].type, kAllTypes[i]);
+    EXPECT_EQ(got[i].payload,
+              "payload for " + std::string(message_type_token(kAllTypes[i])));
+  }
+}
+
+TEST(WireFrame, EveryStrictPrefixNeedsMore) {
+  const std::string frame =
+      dtn::net::encode_frame(MessageType::kAssign, "partial delivery");
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(frame.data(), cut);
+    Message msg;
+    EXPECT_EQ(decoder.next(&msg), FrameDecoder::Result::kNeedMore)
+        << "prefix of " << cut << " bytes decoded early";
+    EXPECT_FALSE(decoder.corrupt());
+    EXPECT_EQ(decoder.pending(), cut);
+  }
+}
+
+// The core integrity property: no single-byte flip anywhere in a frame
+// may decode as a DIFFERENT valid message. Either the CRC/len/grammar
+// catches it (corrupt) or — for flips confined to the payload of a frame
+// whose CRC happens to still match, which CRC-32 makes impossible for
+// single flips — the message would have to be identical.
+TEST(WireFrame, SingleByteFlipsNeverYieldADifferentMessage) {
+  const std::string payload = "determinism is the correctness anchor";
+  const std::string frame = dtn::net::encode_frame(MessageType::kDone, payload);
+  for (std::size_t at = 0; at < frame.size(); ++at) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = frame;
+      mutated[at] = static_cast<char>(mutated[at] ^ (1 << bit));
+      FrameDecoder decoder;
+      decoder.feed(mutated.data(), mutated.size());
+      Message msg;
+      const FrameDecoder::Result result = decoder.next(&msg);
+      if (result == FrameDecoder::Result::kMessage) {
+        EXPECT_EQ(msg.type, MessageType::kDone)
+            << "flip at byte " << at << " bit " << bit;
+        EXPECT_EQ(msg.payload, payload)
+            << "flip at byte " << at << " bit " << bit;
+      } else {
+        // kNeedMore is acceptable too: a flip inside the length field can
+        // legally promise more bytes than were sent. What is NOT
+        // acceptable is a different decoded message, checked above.
+        SUCCEED();
+      }
+    }
+  }
+}
+
+TEST(WireFrame, CorruptionLatches) {
+  FrameDecoder decoder;
+  const std::string garbage = "not a frame at all\n";
+  decoder.feed(garbage.data(), garbage.size());
+  Message msg;
+  EXPECT_EQ(decoder.next(&msg), FrameDecoder::Result::kCorrupt);
+  EXPECT_TRUE(decoder.corrupt());
+  EXPECT_FALSE(decoder.corrupt_reason().empty());
+  // Even a pristine frame afterwards must not resurrect the stream.
+  const std::string fine = dtn::net::encode_frame(MessageType::kHello, "hi");
+  decoder.feed(fine.data(), fine.size());
+  EXPECT_EQ(decoder.next(&msg), FrameDecoder::Result::kCorrupt);
+}
+
+TEST(WireFrame, OversizedLengthIsCorruptNotAllocation) {
+  // A length just past the cap must be rejected from the header alone —
+  // long before any 256 MiB buffer is reserved.
+  const std::string header = "%DTNW1 hello 268435457 00000000\n";
+  FrameDecoder decoder;
+  decoder.feed(header.data(), header.size());
+  Message msg;
+  EXPECT_EQ(decoder.next(&msg), FrameDecoder::Result::kCorrupt);
+}
+
+TEST(WireFrame, UnknownTypeTokenIsCorrupt) {
+  const std::string good = dtn::net::encode_frame(MessageType::kHello, "x");
+  std::string bad = good;
+  bad.replace(bad.find("hello"), 5, "nohel");
+  FrameDecoder decoder;
+  bad.resize(bad.size());
+  decoder.feed(bad.data(), bad.size());
+  Message msg;
+  EXPECT_EQ(decoder.next(&msg), FrameDecoder::Result::kCorrupt);
+}
+
+// ---- socket smoke -----------------------------------------------------------
+
+TEST(Socket, LoopbackSendRecvAndAcceptTimeout) {
+  std::string error;
+  dtn::net::Listener listener = dtn::net::Listener::open("127.0.0.1", 0, &error);
+  ASSERT_TRUE(listener.is_open()) << error;
+  ASSERT_GT(listener.port(), 0);
+
+  // No pending connection: accept must time out quietly (closed stream,
+  // empty error), not report a failure.
+  dtn::net::Stream none = listener.accept(10, &error);
+  EXPECT_FALSE(none.open());
+  EXPECT_TRUE(error.empty()) << error;
+
+  std::thread client([port = listener.port()] {
+    std::string cerr_text;
+    dtn::net::Stream conn =
+        dtn::net::Stream::connect("127.0.0.1", port, 2000, &cerr_text);
+    ASSERT_TRUE(conn.open()) << cerr_text;
+    ASSERT_TRUE(dtn::net::send_message(conn, MessageType::kHello, "ping"));
+    dtn::net::FrameDecoder decoder;
+    dtn::net::Message msg;
+    ASSERT_EQ(dtn::net::recv_message(conn, decoder, 2000, &msg, &cerr_text),
+              dtn::net::WireRecvStatus::kMessage)
+        << cerr_text;
+    EXPECT_EQ(msg.type, MessageType::kDone);
+    EXPECT_EQ(msg.payload, "pong");
+  });
+
+  dtn::net::Stream server = listener.accept(2000, &error);
+  ASSERT_TRUE(server.open()) << error;
+  EXPECT_NE(server.peer(), "?");
+  dtn::net::FrameDecoder decoder;
+  dtn::net::Message msg;
+  ASSERT_EQ(dtn::net::recv_message(server, decoder, 2000, &msg, &error),
+            dtn::net::WireRecvStatus::kMessage)
+      << error;
+  EXPECT_EQ(msg.type, MessageType::kHello);
+  EXPECT_EQ(msg.payload, "ping");
+  ASSERT_TRUE(dtn::net::send_message(server, MessageType::kDone, "pong"));
+  client.join();
+
+  // Client side closed: the server must see a clean EOF, not corruption.
+  EXPECT_EQ(dtn::net::recv_message(server, decoder, 2000, &msg, &error),
+            dtn::net::WireRecvStatus::kEof);
+}
+
+TEST(Socket, ConnectToClosedPortFails) {
+  std::string error;
+  // Open then immediately close a listener to obtain a port that is very
+  // likely unbound.
+  int dead_port = 0;
+  {
+    dtn::net::Listener listener = dtn::net::Listener::open("127.0.0.1", 0, &error);
+    ASSERT_TRUE(listener.is_open()) << error;
+    dead_port = listener.port();
+  }
+  dtn::net::Stream conn =
+      dtn::net::Stream::connect("127.0.0.1", dead_port, 1000, &error);
+  EXPECT_FALSE(conn.open());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace

@@ -113,6 +113,23 @@ TEST(SubprocessTest, SelfExePathResolves) {
   EXPECT_NE(exe.find("subprocess_test"), std::string::npos) << exe;
 }
 
+TEST(SubprocessTest, ResolveExecutableCoversArgv0Shapes) {
+  // Absolute argv[0] passes through untouched.
+  EXPECT_EQ(resolve_executable("/bin/sh"), "/bin/sh");
+  // A bare name walks $PATH like the launching shell did; `sh` exists on
+  // every POSIX host this fabric runs on, and the result is absolute.
+  const std::string sh_path = resolve_executable("sh");
+  ASSERT_FALSE(sh_path.empty());
+  EXPECT_EQ(sh_path.front(), '/');
+  // Nothing resolvable -> empty, never a guess.
+  EXPECT_EQ(resolve_executable(""), "");
+  EXPECT_EQ(resolve_executable("definitely-not-a-real-binary-name-xyzzy"), "");
+  EXPECT_EQ(resolve_executable("./definitely/not/a/real/relative-path"), "");
+  // The argv[0] fallback kicks in only when /proc is unusable, but it
+  // must agree with the real answer when handed the real path.
+  EXPECT_EQ(self_exe_path(self_exe_path()), self_exe_path());
+}
+
 }  // namespace
 }  // namespace dtn::util
 

@@ -45,14 +45,33 @@
 // `--shard i/N` also works standalone for manual/remote sharding, and
 // `dtnsim journal <file>` diagnoses any campaign journal offline.
 //
+// Multi-host fabric: `dtnsim serve --port P` is a resident worker daemon
+// (src/net/, harness/remote.hpp) — it accepts one campaign at a time over
+// a checksummed TCP framing, runs the assigned shard through the same
+// journaled run_spec_sweep path (journal in a per-campaign scratch dir,
+// resumed on reassignment), streams journal-growth heartbeats, and ships
+// the journal bytes back. The driver side is `sweep --hosts
+// host:port[,...]`: remote shards are dealt round-robin to hosts and
+// supervised with the same liveness/backoff policy as local workers
+// (heartbeat stall => reassign to another live host, dead host =>
+// exponential-backoff reconnect, retries exhausted => degrade to exit 1
+// with received journals kept). Received journals land under
+// `<journal>.shards/` and flow through the same merge — aggregates are
+// bit-identical to a single-process run. `--hosts` composes with local
+// `--workers` (local shards fork, remote shards stream). No auth, no TLS:
+// bind daemons to loopback or trusted networks only (see README).
+//
 // Exit codes are pinned (the supervision loop depends on them): 0 = clean
 // campaign, 1 = completed with failed points (or a runtime error), 2 =
-// usage/config error.
+// usage/config error. `serve` exits 2 on usage/config errors and 1 when
+// the listener fails at runtime; it never exits 0 (it runs until killed).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,8 +84,12 @@
 #endif
 
 #include "harness/journal.hpp"
+#include "harness/remote.hpp"
 #include "harness/spec_io.hpp"
 #include "harness/sweep.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "util/checksum.hpp"
 #include "util/flags.hpp"
 #include "util/subprocess.hpp"
 #include "util/table.hpp"
@@ -85,8 +108,11 @@ int usage() {
                "                       [--seeds N] [--seed-base B] [--threads T] [--quiet]\n"
                "                       [--out results.json] [--journal J] [--resume]\n"
                "                       [--retries N] [--point-timeout S] [--sync-every N]\n"
-               "                       [--shard i/N | --workers N [--worker-retries R]\n"
-               "                                                  [--worker-timeout S]]\n"
+               "                       [--shard i/N | --workers N and/or --hosts h:p[,h:p..]\n"
+               "                         [--worker-retries R] [--worker-timeout S]]\n"
+               "  serve --port P       [--bind ADDR] [--scratch DIR] [--threads T]\n"
+               "                       # resident worker daemon for sweep --hosts\n"
+               "                       # (no auth: loopback/trusted networks only)\n"
                "  journal <file>       # inspect a campaign journal (fingerprint,\n"
                "                       # record census, torn-tail diagnosis)\n"
                "  print <scenario.cfg> [--set k=v]...\n"
@@ -267,10 +293,14 @@ bool make_dir(const std::string& path) {
 /// re-trip the very fault they are recovering from. Fills `journals_out`
 /// with every shard's journal path; returns 0 once supervision ends, 2 on
 /// setup errors (unusable work dir).
+/// `total_shards` >= `workers`: with `--hosts` the local fork/exec slots
+/// cover shards [0, workers) of a larger selector whose tail shards
+/// stream to remote daemons (run_remote_shard).
 int run_worker_fleet(const std::string& cfg_path, const util::Flags& flags,
                      const harness::SpecSweepOptions& options, std::size_t workers,
-                     int worker_retries, double worker_timeout_s,
-                     const std::string& work_dir, const std::string& argv0,
+                     std::size_t total_shards, int worker_retries,
+                     double worker_timeout_s, const std::string& work_dir,
+                     const std::string& argv0,
                      std::vector<std::string>& journals_out) {
   using Clock = std::chrono::steady_clock;
   if (!make_dir(work_dir)) {
@@ -278,8 +308,10 @@ int run_worker_fleet(const std::string& cfg_path, const util::Flags& flags,
                  work_dir.c_str());
     return 2;
   }
-  std::string exe = util::self_exe_path();
-  if (exe.empty()) exe = argv0;
+  // /proc/self/exe with an argv[0] fallback: the fleet must respawn the
+  // binary that is running it even where procfs is absent.
+  const std::string exe_resolved = util::self_exe_path(argv0);
+  const std::string exe = exe_resolved.empty() ? argv0 : exe_resolved;
   const std::string fault_raw = flags.get_string("fault", "");
 
   struct Slot {
@@ -337,7 +369,7 @@ int run_worker_fleet(const std::string& cfg_path, const util::Flags& flags,
     argv.push_back("--journal");
     argv.push_back(slot.journal);
     argv.push_back("--shard");
-    argv.push_back(std::to_string(slot.shard) + "/" + std::to_string(workers));
+    argv.push_back(std::to_string(slot.shard) + "/" + std::to_string(total_shards));
     // Restarts ALWAYS resume (that is the point of the per-shard journal);
     // first spawns resume only when the whole campaign does.
     if (options.resume || slot.spawns > 0) argv.push_back("--resume");
@@ -358,13 +390,13 @@ int run_worker_fleet(const std::string& cfg_path, const util::Flags& flags,
                              std::chrono::duration<double>(delay_s));
       std::fprintf(stderr,
                    "dtnsim: restarting shard %zu/%zu in %.2f s (attempt %d of %d)\n",
-                   slot.shard, workers, delay_s, slot.spawns + 1, 1 + worker_retries);
+                   slot.shard, total_shards, delay_s, slot.spawns + 1, 1 + worker_retries);
     } else {
       slot.gave_up = true;
       std::fprintf(stderr,
                    "dtnsim: shard %zu/%zu gave up after %d attempt(s); its "
                    "unrecorded points will be reported failed\n",
-                   slot.shard, workers, slot.spawns);
+                   slot.shard, total_shards, slot.spawns);
     }
   };
 
@@ -378,7 +410,7 @@ int run_worker_fleet(const std::string& cfg_path, const util::Flags& flags,
     // stderr stays inherited so worker diagnostics reach the operator.
     if (!slot.proc.spawn(argv, /*discard_stdout=*/true, &error)) {
       std::fprintf(stderr, "dtnsim: cannot spawn worker for shard %zu/%zu: %s\n",
-                   slot.shard, workers, error.c_str());
+                   slot.shard, total_shards, error.c_str());
       schedule_or_give_up(slot);
       return;
     }
@@ -414,7 +446,7 @@ int run_worker_fleet(const std::string& cfg_path, const util::Flags& flags,
             std::fprintf(stderr,
                          "dtnsim: shard %zu/%zu made no journal progress for "
                          "%.1f s; killing the worker\n",
-                         slot.shard, workers, worker_timeout_s);
+                         slot.shard, total_shards, worker_timeout_s);
             slot.proc.kill_hard();
             slot.proc.wait();
             slot.running = false;
@@ -432,16 +464,16 @@ int run_worker_fleet(const std::string& cfg_path, const util::Flags& flags,
         std::fprintf(stderr,
                      "dtnsim: worker for shard %zu/%zu exited with a "
                      "configuration error (exit 2); not restarting\n",
-                     slot.shard, workers);
+                     slot.shard, total_shards);
       } else {
         if (status.signaled) {
           std::fprintf(stderr, "dtnsim: worker for shard %zu/%zu died on signal %d\n",
-                       slot.shard, workers, status.term_signal);
+                       slot.shard, total_shards, status.term_signal);
         } else {
           std::fprintf(stderr,
                        "dtnsim: worker for shard %zu/%zu exited abnormally "
                        "(code %d%s)\n",
-                       slot.shard, workers, status.exit_code,
+                       slot.shard, total_shards, status.exit_code,
                        status.exit_code == 127 ? ", exec failed" : "");
         }
         schedule_or_give_up(slot);
@@ -451,6 +483,523 @@ int run_worker_fleet(const std::string& cfg_path, const util::Flags& flags,
     if (active) std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   return 0;
+}
+
+// ---- multi-host fabric ------------------------------------------------------
+
+/// Reads a whole file into `out` (binary). False on any I/O problem.
+bool read_file_bytes(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[65536];
+  out.clear();
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+std::string crc_hex8(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return std::string(buf);
+}
+
+/// One `--hosts` endpoint.
+struct HostSpec {
+  std::string host;
+  int port = 0;
+};
+
+/// Parses `--hosts host:port[,host:port...]`. Loud diagnostic + false on
+/// anything malformed — a typo must not silently shrink the fleet.
+bool parse_hosts_spec(const std::string& csv, std::vector<HostSpec>& out) {
+  const auto fail = [](const std::string& entry) {
+    std::fprintf(
+        stderr,
+        "dtnsim: bad --hosts entry '%s' (expected host:port[,host:port...])\n",
+        entry.c_str());
+    return false;
+  };
+  out.clear();
+  for (const std::string& entry : util::split_csv(csv)) {
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= entry.size()) {
+      return fail(entry);
+    }
+    std::int64_t port = 0;
+    if (!util::parse_value(entry.substr(colon + 1), port) || port < 1 ||
+        port > 65535) {
+      return fail(entry);
+    }
+    out.push_back(HostSpec{entry.substr(0, colon), static_cast<int>(port)});
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "dtnsim: --hosts needs at least one host:port\n");
+    return false;
+  }
+  return true;
+}
+
+/// Shared health book of the remote hosts: a failed connect, handshake,
+/// or mid-campaign disconnect marks the host dead for an exponentially
+/// growing window (the same 0.25 s doubling capped at 5 s as local worker
+/// restarts), so every shard thread's round-robin rotation skips it until
+/// the backoff expires.
+class HostBook {
+ public:
+  explicit HostBook(const std::vector<HostSpec>& hosts) {
+    entries_.reserve(hosts.size());
+    for (const auto& h : hosts) entries_.push_back(Entry{h, {}, 0});
+  }
+
+  /// First live host at or after `preferred` (round-robin). -1 when every
+  /// host is inside its backoff window.
+  int pick(std::size_t preferred) {
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t k = 0; k < entries_.size(); ++k) {
+      const std::size_t i = (preferred + k) % entries_.size();
+      if (entries_[i].dead_until <= now) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void mark_dead(int index) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Entry& e = entries_[static_cast<std::size_t>(index)];
+    const int exponent = std::min(e.failures, 10);
+    ++e.failures;
+    const double delay_s =
+        std::min(5.0, 0.25 * static_cast<double>(1 << exponent));
+    e.dead_until = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(delay_s));
+  }
+
+  void mark_alive(int index) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_[static_cast<std::size_t>(index)].failures = 0;
+    entries_[static_cast<std::size_t>(index)].dead_until = {};
+  }
+
+  HostSpec spec(int index) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_[static_cast<std::size_t>(index)].spec;
+  }
+
+ private:
+  struct Entry {
+    HostSpec spec;
+    std::chrono::steady_clock::time_point dead_until{};
+    int failures = 0;
+  };
+  std::vector<Entry> entries_;
+  std::mutex mutex_;
+};
+
+/// Outcome of one remote shard's supervision.
+struct RemoteShardOutcome {
+  bool journal_received = false;
+  std::string origin;  ///< "host:port" that completed the shard
+};
+
+/// Drives ONE remote shard to completion: deal it to a live host (round
+/// -robin from `remote_index`), stream the handshake + assignment, watch
+/// the journal-growth heartbeat, and land the shipped journal under the
+/// shard dir via the same tmp + durable_replace publish as `--out`.
+/// Mirrors the local supervision policy exactly: heartbeat stall or a
+/// dead connection => reattempt on the next live host with backoff, up to
+/// 1 + worker_retries attempts, then give up (the merge degrades the
+/// shard's unrecorded points to failed-with-reason). Reassignments ALWAYS
+/// set resume: a shard that lands back on a daemon that already journaled
+/// part of it recomputes only the gap.
+void run_remote_shard(const harness::SpecSweepOptions& campaign,
+                      std::size_t shard, std::size_t total_shards,
+                      std::size_t remote_index, HostBook& book,
+                      int worker_retries, double worker_timeout_s,
+                      const std::string& journal_path,
+                      RemoteShardOutcome& outcome) {
+  using Clock = std::chrono::steady_clock;
+  harness::SpecSweepOptions assigned = campaign;
+  assigned.shard_index = shard;
+  assigned.shard_count = total_shards;
+  assigned.journal_path.clear();  // daemon-local choices stay the daemon's
+  assigned.threads = 0;
+  assigned.progress = nullptr;
+  assigned.note = nullptr;
+  assigned.fault_plan = nullptr;
+  const std::string fingerprint = harness::sweep_campaign_fingerprint(assigned);
+  const std::string hello = harness::serialize_sweep_hello(fingerprint);
+
+  int spawns = 0;
+  while (spawns <= worker_retries) {
+    const int host_index =
+        book.pick(remote_index + static_cast<std::size_t>(spawns));
+    if (host_index < 0) {
+      // Every host is inside its backoff window; waiting it out costs
+      // nothing and does not consume an attempt.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    if (spawns > 0) {
+      const int exponent = std::min(spawns - 1, 10);
+      const double delay_s =
+          std::min(5.0, 0.25 * static_cast<double>(1 << exponent));
+      std::fprintf(
+          stderr,
+          "dtnsim: reassigning shard %zu/%zu in %.2f s (attempt %d of %d)\n",
+          shard, total_shards, delay_s, spawns + 1, 1 + worker_retries);
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+    }
+    ++spawns;
+    const HostSpec host = book.spec(host_index);
+    const std::string where = host.host + ":" + std::to_string(host.port);
+    std::string error;
+    net::Stream conn = net::Stream::connect(host.host, host.port, 5000, &error);
+    if (!conn.open()) {
+      std::fprintf(stderr, "dtnsim: shard %zu/%zu: %s\n", shard, total_shards,
+                   error.c_str());
+      book.mark_dead(host_index);
+      continue;
+    }
+    net::FrameDecoder decoder;
+    net::Message msg;
+    // The echo wait is generous on purpose: a busy daemon (one campaign
+    // at a time) parks this connection in its listen backlog until its
+    // current shard completes.
+    const bool handshake_ok =
+        net::send_message(conn, net::MessageType::kHello, hello) &&
+        net::recv_message(conn, decoder, 30000, &msg, &error) ==
+            net::WireRecvStatus::kMessage &&
+        msg.type == net::MessageType::kHello && msg.payload == hello;
+    if (!handshake_ok) {
+      std::fprintf(stderr,
+                   "dtnsim: shard %zu/%zu: handshake with %s failed%s%s\n",
+                   shard, total_shards, where.c_str(), error.empty() ? "" : ": ",
+                   error.c_str());
+      book.mark_dead(host_index);
+      continue;
+    }
+    assigned.resume = campaign.resume || spawns > 1;
+    if (!net::send_message(conn, net::MessageType::kAssign,
+                           harness::serialize_sweep_assignment(assigned))) {
+      book.mark_dead(host_index);
+      continue;
+    }
+    book.mark_alive(host_index);  // spoke the protocol; clear its backoff
+
+    std::string journal_bytes;
+    bool have_journal = false;
+    std::uint64_t last_bytes = 0;
+    Clock::time_point last_growth = Clock::now();
+    bool attempt_failed = false;
+    bool shard_done = false;
+    bool daemon_refused = false;
+    while (!attempt_failed && !shard_done) {
+      switch (net::recv_message(conn, decoder, 500, &msg, &error)) {
+        case net::WireRecvStatus::kMessage:
+          switch (msg.type) {
+            case net::MessageType::kProgress: {
+              std::uint64_t records = 0;
+              std::uint64_t bytes = 0;
+              if (harness::parse_sweep_progress(msg.payload, &records, &bytes) &&
+                  bytes != last_bytes) {
+                last_bytes = bytes;
+                last_growth = Clock::now();
+              }
+              break;
+            }
+            case net::MessageType::kJournal:
+              journal_bytes = std::move(msg.payload);
+              have_journal = true;
+              break;
+            case net::MessageType::kDone:
+              shard_done = true;
+              break;
+            case net::MessageType::kError:
+              // The daemon refused or failed the assignment in a way a
+              // reassignment cannot fix (foreign fingerprint, unusable
+              // scratch, structural spec error): mirror the local
+              // exit-2 no-restart policy and give the shard up.
+              std::fprintf(stderr, "dtnsim: shard %zu/%zu: %s reported: %s\n",
+                           shard, total_shards, where.c_str(),
+                           msg.payload.c_str());
+              daemon_refused = true;
+              shard_done = true;
+              break;
+            default:
+              std::fprintf(stderr,
+                           "dtnsim: shard %zu/%zu: unexpected %s message "
+                           "from %s\n",
+                           shard, total_shards,
+                           net::message_type_token(msg.type), where.c_str());
+              book.mark_dead(host_index);
+              attempt_failed = true;
+              break;
+          }
+          break;
+        case net::WireRecvStatus::kTimeout:
+          // The liveness probe is the REPORTED journal length, exactly
+          // like the local fleet's stat() of the shard journal: a daemon
+          // that heartbeats without growing its journal is a hung worker.
+          if (worker_timeout_s > 0 &&
+              std::chrono::duration<double>(Clock::now() - last_growth).count() >
+                  worker_timeout_s) {
+            std::fprintf(stderr,
+                         "dtnsim: shard %zu/%zu on %s made no journal "
+                         "progress for %.1f s; reassigning\n",
+                         shard, total_shards, where.c_str(), worker_timeout_s);
+            book.mark_dead(host_index);
+            attempt_failed = true;
+          }
+          break;
+        case net::WireRecvStatus::kEof:
+        case net::WireRecvStatus::kCorrupt:
+        case net::WireRecvStatus::kError:
+          std::fprintf(stderr,
+                       "dtnsim: shard %zu/%zu: connection to %s lost%s%s\n",
+                       shard, total_shards, where.c_str(),
+                       error.empty() ? "" : ": ", error.c_str());
+          book.mark_dead(host_index);
+          attempt_failed = true;
+          break;
+      }
+    }
+    if (attempt_failed) continue;
+    if (daemon_refused) return;
+    if (!have_journal) {
+      std::fprintf(stderr,
+                   "dtnsim: shard %zu/%zu: %s sent DONE without a journal\n",
+                   shard, total_shards, where.c_str());
+      book.mark_dead(host_index);
+      continue;
+    }
+    const std::string tmp = journal_path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    bool wrote = f != nullptr &&
+                 std::fwrite(journal_bytes.data(), 1, journal_bytes.size(), f) ==
+                     journal_bytes.size();
+    if (f != nullptr && std::fclose(f) != 0) wrote = false;
+    std::string publish_error;
+    if (!wrote ||
+        !harness::durable_replace(tmp, journal_path, &publish_error)) {
+      std::fprintf(stderr,
+                   "dtnsim: shard %zu/%zu: cannot store received journal "
+                   "'%s'%s%s\n",
+                   shard, total_shards, journal_path.c_str(),
+                   publish_error.empty() ? "" : ": ", publish_error.c_str());
+      std::remove(tmp.c_str());
+      return;  // local disk problem; another remote attempt cannot help
+    }
+    outcome.journal_received = true;
+    outcome.origin = where;
+    return;
+  }
+  std::fprintf(stderr,
+               "dtnsim: shard %zu/%zu gave up after %d attempt(s); its "
+               "unrecorded points will be reported failed\n",
+               shard, total_shards, spawns);
+}
+
+/// Serves ONE accepted campaign connection end-to-end. Never throws; every
+/// refusal is loud on stderr AND sent back as an ERROR frame when the
+/// connection still stands.
+void serve_one_campaign(net::Stream conn, const std::string& scratch,
+                        std::size_t threads) {
+  const std::string peer = conn.peer();
+  const auto log = [&peer](const std::string& message) {
+    std::fprintf(stderr, "dtnsim: [%s] %s\n", peer.c_str(), message.c_str());
+  };
+  net::FrameDecoder decoder;
+  net::Message msg;
+  std::string error;
+  if (net::recv_message(conn, decoder, 30000, &msg, &error) !=
+          net::WireRecvStatus::kMessage ||
+      msg.type != net::MessageType::kHello) {
+    log("no HELLO" + (error.empty() ? std::string() : ": " + error));
+    return;
+  }
+  std::uint64_t fp_len = 0;
+  std::uint32_t fp_crc = 0;
+  if (!harness::parse_sweep_hello(msg.payload, &fp_len, &fp_crc, &error)) {
+    log("refusing HELLO: " + error);
+    net::send_message(conn, net::MessageType::kError, error);
+    return;
+  }
+  // The ack is a verbatim echo: the driver checks the daemon speaks the
+  // same protocol version and saw the same fingerprint digest.
+  if (!net::send_message(conn, net::MessageType::kHello, msg.payload)) return;
+  if (net::recv_message(conn, decoder, 30000, &msg, &error) !=
+          net::WireRecvStatus::kMessage ||
+      msg.type != net::MessageType::kAssign) {
+    log("no ASSIGN" + (error.empty() ? std::string() : ": " + error));
+    return;
+  }
+  harness::SpecSweepOptions options;
+  if (!harness::parse_sweep_assignment(msg.payload, &options, &error)) {
+    log("refusing ASSIGN: " + error);
+    net::send_message(conn, net::MessageType::kError, error);
+    return;
+  }
+  // The fingerprint recomputed from what was PARSED must match the digest
+  // advertised in HELLO: any drift — version skew between builds, a spec
+  // vocabulary mismatch, payload damage the frame CRC could not see — is
+  // a foreign campaign. Refuse loudly rather than compute wrong bits.
+  const std::string fingerprint = harness::sweep_campaign_fingerprint(options);
+  if (fingerprint.size() != fp_len || util::crc32(fingerprint) != fp_crc) {
+    const std::string refusal =
+        "campaign fingerprint mismatch (ASSIGN does not match the HELLO "
+        "digest); refusing the foreign campaign";
+    log(refusal);
+    net::send_message(conn, net::MessageType::kError, refusal);
+    return;
+  }
+  options.threads = threads;
+  // Per-campaign scratch journal, keyed by fingerprint AND shard: a
+  // reassigned shard resumes exactly its own bytes, and campaigns never
+  // shadow each other.
+  options.journal_path =
+      scratch + "/campaign-" + crc_hex8(util::crc32(fingerprint)) + "-shard-" +
+      std::to_string(options.shard_index) + "-of-" +
+      std::to_string(options.shard_count) + ".journal";
+  log("assigned shard " + std::to_string(options.shard_index) + "/" +
+      std::to_string(options.shard_count) +
+      (options.resume ? " (resume)" : "") + ", journal '" +
+      options.journal_path + "'");
+  std::atomic<std::uint64_t> points_done{0};
+  options.progress = [&points_done](const std::string&) {
+    points_done.fetch_add(1);
+  };
+  options.note = [&log](const std::string& message) { log(message); };
+
+  std::atomic<bool> finished{false};
+  std::exception_ptr failure;
+  std::vector<harness::SpecPointResult> results;
+  std::thread runner([&] {
+    try {
+      results = harness::run_spec_sweep(options);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    finished.store(true);
+  });
+  // Journal-growth heartbeat every 200 ms. A dead driver does NOT abort
+  // the shard: the journal preserves the finished points, so the
+  // reassigned shard (resume, possibly back on this daemon) recomputes
+  // only the gap.
+  bool driver_alive = true;
+  while (!finished.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (!driver_alive) continue;
+    const std::string beat = harness::serialize_sweep_progress(
+        points_done.load(), file_size_of(options.journal_path));
+    if (!net::send_message(conn, net::MessageType::kProgress, beat)) {
+      driver_alive = false;
+      log("driver connection lost; finishing the shard for a future resume");
+    }
+  }
+  runner.join();
+  if (failure) {
+    std::string what = "shard failed";
+    try {
+      std::rethrow_exception(failure);
+    } catch (const std::exception& e) {
+      what = e.what();
+    }
+    log("shard failed: " + what);
+    if (driver_alive) net::send_message(conn, net::MessageType::kError, what);
+    return;
+  }
+  if (!driver_alive) return;
+  std::string journal_bytes;
+  if (!read_file_bytes(options.journal_path, journal_bytes)) {
+    const std::string what =
+        "cannot read back shard journal '" + options.journal_path + "'";
+    log(what);
+    net::send_message(conn, net::MessageType::kError, what);
+    return;
+  }
+  bool failures_present = false;
+  for (const auto& point : results) {
+    if (point.exec.failed()) failures_present = true;
+  }
+  if (net::send_message(conn, net::MessageType::kJournal, journal_bytes)) {
+    net::send_message(conn, net::MessageType::kDone,
+                      failures_present ? "1" : "0");
+  }
+  log("shard " + std::to_string(options.shard_index) + "/" +
+      std::to_string(options.shard_count) + " complete: " +
+      std::to_string(points_done.load()) + " point(s) run, " +
+      std::to_string(journal_bytes.size()) + " journal byte(s) shipped" +
+      (failures_present ? ", with failed points" : ""));
+}
+
+/// `dtnsim serve`: the resident multi-host worker daemon. Accepts one
+/// campaign at a time (further drivers queue in the listen backlog), runs
+/// the assigned shard through the journaled run_spec_sweep path, ships
+/// the journal back, and survives to take the next assignment. Runs until
+/// killed.
+int cmd_serve(const util::Flags& flags) {
+  if (!check_flags(flags, {"port", "bind", "scratch", "threads", "port-file"})) {
+    return usage();
+  }
+  if (!flags.has("port")) {
+    std::fprintf(stderr,
+                 "dtnsim: serve needs --port (0 picks an ephemeral port)\n");
+    return 2;
+  }
+  std::int64_t port = 0;
+  std::int64_t threads = 0;
+  if (!get_int_flag(flags, "port", 0, 0, 65535, port) ||
+      !get_int_flag(flags, "threads", 0, 0, 4096, threads)) {
+    return 2;
+  }
+  const std::string bind_addr = flags.get_string("bind", "127.0.0.1");
+  const std::string scratch = flags.get_string("scratch", "dtnsim-serve.scratch");
+  if (!make_dir(scratch)) {
+    std::fprintf(stderr, "dtnsim: cannot create scratch dir '%s'\n",
+                 scratch.c_str());
+    return 2;
+  }
+  std::string error;
+  net::Listener listener =
+      net::Listener::open(bind_addr, static_cast<int>(port), &error);
+  if (!listener.is_open()) {
+    std::fprintf(stderr, "dtnsim: %s\n", error.c_str());
+    return 2;
+  }
+  // --port 0 callers (tests, colocated fleets) read the bound port from
+  // --port-file; written via rename so a poller never sees a partial file.
+  const std::string port_file = flags.get_string("port-file", "");
+  if (!port_file.empty()) {
+    const std::string tmp = port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    bool ok = f != nullptr && std::fprintf(f, "%d\n", listener.port()) > 0;
+    if (f != nullptr && std::fclose(f) != 0) ok = false;
+    if (!ok || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::fprintf(stderr, "dtnsim: cannot write --port-file '%s'\n",
+                   port_file.c_str());
+      return 2;
+    }
+  }
+  std::fprintf(stderr,
+               "dtnsim: serving on %s:%d (scratch '%s'; no auth — bind to "
+               "loopback or trusted networks only)\n",
+               bind_addr.c_str(), listener.port(), scratch.c_str());
+  for (;;) {
+    net::Stream conn = listener.accept(1000, &error);
+    if (!conn.open()) {
+      if (!error.empty()) {
+        std::fprintf(stderr, "dtnsim: accept failed: %s\n", error.c_str());
+        return 1;
+      }
+      continue;  // accept timeout: keep listening
+    }
+    serve_one_campaign(std::move(conn), scratch,
+                       static_cast<std::size_t>(threads));
+  }
 }
 
 void print_point(const harness::PointResult& point) {
@@ -514,7 +1063,7 @@ int cmd_sweep(const std::string& path, const util::Flags& flags,
               const std::string& argv0) {
   if (!check_flags(flags, {"set", "axis", "seeds", "seed-base", "threads", "quiet",
                            "out", "journal", "resume", "retries", "point-timeout",
-                           "sync-every", "fault", "shard", "workers",
+                           "sync-every", "fault", "shard", "workers", "hosts",
                            "worker-retries", "worker-timeout"})) {
     return usage();
   }
@@ -566,6 +1115,11 @@ int cmd_sweep(const std::string& path, const util::Flags& flags,
                          "disable the worker liveness watchdog)\n");
     return 2;
   }
+  std::vector<HostSpec> hosts;
+  if (flags.has("hosts") &&
+      !parse_hosts_spec(flags.get_string("hosts", ""), hosts)) {
+    return 2;
+  }
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   if (flags.has("shard")) {
@@ -574,11 +1128,22 @@ int cmd_sweep(const std::string& path, const util::Flags& flags,
                            "(--workers assigns the shards itself)\n");
       return 2;
     }
+    if (flags.has("hosts")) {
+      std::fprintf(stderr, "dtnsim: --shard and --hosts are mutually exclusive "
+                           "(--hosts assigns the shards itself)\n");
+      return 2;
+    }
     if (!parse_shard_spec(flags.get_string("shard", ""), shard_index, shard_count)) {
       return 2;
     }
   }
-  const bool fleet = flags.has("workers");
+  const bool fleet = flags.has("workers") || !hosts.empty();
+  // --workers and --hosts compose into ONE shard selector: local fork/exec
+  // slots take the leading shards, each remote daemon takes one trailing
+  // shard. total_shards is what every worker's --shard i/N denominates.
+  const std::size_t local_workers =
+      flags.has("workers") ? static_cast<std::size_t>(workers) : 0;
+  const std::size_t total_shards = local_workers + hosts.size();
   options.seeds = static_cast<int>(seeds);
   options.seed_base = static_cast<std::uint64_t>(seed_base);
   options.threads = static_cast<std::size_t>(threads);
@@ -620,8 +1185,9 @@ int cmd_sweep(const std::string& path, const util::Flags& flags,
     journal_base = out_path + ".journal";
   }
   if (fleet && journal_base.empty()) {
-    std::fprintf(stderr, "dtnsim: --workers needs --out or --journal to place "
-                         "the shard journals\n");
+    std::fprintf(stderr, "dtnsim: %s needs --out or --journal to place "
+                         "the shard journals\n",
+                 flags.has("workers") ? "--workers" : "--hosts");
     return 2;
   }
   if (!fleet) options.journal_path = journal_base;
@@ -657,19 +1223,88 @@ int cmd_sweep(const std::string& path, const util::Flags& flags,
                 shard_count, mine, grid);
   }
   const std::string shard_dir = journal_base + ".shards";
-  if (fleet) {
+  if (local_workers > 0) {
     std::printf("workers: %lld (shard journals under '%s')\n",
                 static_cast<long long>(workers), shard_dir.c_str());
+  }
+  if (!hosts.empty()) {
+    std::printf("hosts: %zu daemon(s) covering shards %zu..%zu (shard "
+                "journals under '%s')\n",
+                hosts.size(), local_workers, total_shards - 1,
+                shard_dir.c_str());
   }
   std::vector<harness::SpecPointResult> results;
   harness::SweepMergeStats merge_stats;
   std::vector<std::string> shard_journals;
   try {
     if (fleet) {
-      const int fleet_rc = run_worker_fleet(
-          path, flags, options, static_cast<std::size_t>(workers),
-          static_cast<int>(worker_retries), worker_timeout, shard_dir, argv0,
-          shard_journals);
+      if (!make_dir(shard_dir)) {
+        std::fprintf(stderr, "dtnsim: cannot create shard work dir '%s'\n",
+                     shard_dir.c_str());
+        if (out_file != nullptr) {
+          std::fclose(out_file);
+          std::remove(tmp_path.c_str());
+        }
+        return 2;
+      }
+      shard_journals.clear();
+      for (std::size_t s = 0; s < total_shards; ++s) {
+        shard_journals.push_back(shard_dir + "/shard-" + std::to_string(s) +
+                                 ".journal");
+      }
+      // Remote supervision threads run alongside the local fork/exec
+      // fleet; both write into the same shard dir, one journal per shard.
+      std::vector<std::string> origins(total_shards);
+      std::vector<RemoteShardOutcome> outcomes(hosts.size());
+      HostBook book(hosts);
+      std::vector<std::thread> remote_threads;
+      for (std::size_t r = 0; r < hosts.size(); ++r) {
+        const std::size_t s = local_workers + r;
+        const std::string& shard_journal = shard_journals[s];
+        if (options.resume) {
+          // Audit before (re)assigning: a shard whose journal already
+          // records every point ok has nothing left to compute.
+          switch (harness::audit_shard_journal(options, s, total_shards,
+                                               shard_journal)) {
+            case harness::ShardJournalState::kComplete:
+              std::fprintf(stderr,
+                           "dtnsim: shard %zu/%zu is already complete in "
+                           "'%s'; not reassigning\n",
+                           s, total_shards, shard_journal.c_str());
+              continue;
+            case harness::ShardJournalState::kForeign:
+              std::fprintf(stderr,
+                           "dtnsim: shard journal '%s' belongs to a "
+                           "different campaign; recomputing shard %zu/%zu\n",
+                           shard_journal.c_str(), s, total_shards);
+              std::remove(shard_journal.c_str());
+              break;
+            case harness::ShardJournalState::kPartial:
+              break;
+          }
+        } else {
+          // Fresh campaign: a stale journal from an older campaign must
+          // not leak into the merge (local workers truncate theirs the
+          // same way when spawned without --resume).
+          std::remove(shard_journal.c_str());
+        }
+        remote_threads.emplace_back([&options, s, total_shards, r, &book,
+                                     worker_retries, worker_timeout,
+                                     &shard_journal, &outcomes] {
+          run_remote_shard(options, s, total_shards, r, book,
+                           static_cast<int>(worker_retries), worker_timeout,
+                           shard_journal, outcomes[r]);
+        });
+      }
+      int fleet_rc = 0;
+      if (local_workers > 0) {
+        std::vector<std::string> local_journals;
+        fleet_rc = run_worker_fleet(path, flags, options, local_workers,
+                                    total_shards, static_cast<int>(worker_retries),
+                                    worker_timeout, shard_dir, argv0,
+                                    local_journals);
+      }
+      for (auto& thread : remote_threads) thread.join();
       if (fleet_rc != 0) {
         if (out_file != nullptr) {
           std::fclose(out_file);
@@ -677,7 +1312,13 @@ int cmd_sweep(const std::string& path, const util::Flags& flags,
         }
         return fleet_rc;
       }
-      results = harness::merge_sweep_journals(options, shard_journals, &merge_stats);
+      for (std::size_t r = 0; r < outcomes.size(); ++r) {
+        if (outcomes[r].journal_received) {
+          origins[local_workers + r] = outcomes[r].origin;
+        }
+      }
+      results = harness::merge_sweep_journals(options, shard_journals,
+                                              &merge_stats, origins);
       std::printf("merged %zu shard journal(s): %zu ok, %zu failed, %zu missing\n",
                   merge_stats.journals_read, merge_stats.points_ok,
                   merge_stats.points_failed, merge_stats.points_missing);
@@ -806,6 +1447,18 @@ int cmd_journal(const std::string& path) {
     std::printf("  points:         %zu of %zu recorded (%zu ok, %zu failed)\n",
                 info.points_recorded, info.grid_points, info.points_ok,
                 info.points_failed);
+    // Which shard selector the recorded indices imply — gcd inference, so
+    // a partially-run shard still reads as its selector, not the grid.
+    if (info.shard_modulus == 1) {
+      std::printf("  shard:          whole grid (indices share no stride)\n");
+    } else if (info.shard_modulus > 1) {
+      std::printf("  shard:          index %% %zu == %zu (selector residue "
+                  "implied by the recorded points)\n",
+                  info.shard_modulus, info.shard_residue);
+    } else if (info.points_recorded > 0) {
+      std::printf("  shard:          undetermined (too few recorded points "
+                  "to imply a stride)\n");
+    }
   } else {
     std::printf("  campaign:       none (first record is not a dtnsim sweep "
                 "fingerprint)\n");
@@ -872,7 +1525,7 @@ int main(int argc, char** argv) {
   // Every command takes at most one scenario file; extra positionals would
   // be silently skipped (e.g. `dtnsim check a.cfg b.cfg` "passing" b.cfg
   // unread), so reject them like unknown flags.
-  const std::size_t max_args = cmd == "list" ? 1 : 2;
+  const std::size_t max_args = (cmd == "list" || cmd == "serve") ? 1 : 2;
   if (args.size() > max_args) {
     std::fprintf(stderr, "dtnsim: unexpected argument '%s'\n",
                  args[max_args].c_str());
@@ -882,6 +1535,7 @@ int main(int argc, char** argv) {
     if (cmd == "list") {
       return check_flags(flags, {}) ? cmd_list() : usage();
     }
+    if (cmd == "serve") return cmd_serve(flags);
     if (args.size() < 2) return usage();
     const std::string& path = args[1];
     if (cmd == "run") return cmd_run(path, flags);
