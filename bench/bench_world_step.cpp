@@ -21,6 +21,14 @@
 // engine must report ~0 for both (residuals: rare spatial-grid cell
 // discovery and per-first-delivery metrics bookkeeping).
 //
+// A third, sparse-field workload times the kinetic event kernel
+// (WorldConfig::event_kernel) against the fixed-dt loop it replaces: a
+// large open field (50 000 m^2/node, 10 m range) where contacts are rare
+// events and almost every fixed step is dead time. Both sides execute
+// run() end to end from the same seed and must produce bit-identical
+// metrics — the kernel's contract (also enforced by sim_event_kernel_test)
+// — cross-checked FATALly before any number is reported.
+//
 // Flags: --steps N (timed steps, default 1500), --warmup N (default 300),
 //        --out PATH (default BENCH_world_step.json), --smoke (tiny sizes
 //        for CI: bench_smoke runs `bench_world_step --steps 200 --smoke`).
@@ -164,6 +172,57 @@ std::pair<RunResult, RunResult> timed_ab_run(sim::World& legacy_world,
   incr.steps_per_sec = steps / incr_best;
   incr.contact_events_per_sec = static_cast<double>(incr_best_events) / incr_best;
   return {legacy, incr};
+}
+
+/// Sparse open-field world for the event-kernel A/B: random waypoint at
+/// `area_per_node` m^2/node (orders of magnitude sparser than the contact
+/// workload), paper traffic, epidemic routers. SoA registration keeps the
+/// lanes closed-form so the kernel can engage.
+std::unique_ptr<sim::World> build_sparse_world(int nodes, bool event_kernel,
+                                               double area_per_node) {
+  sim::WorldConfig config;
+  config.seed = 42;
+  config.event_kernel = event_kernel;
+  auto world = std::make_unique<sim::World>(config);
+  const double side = std::sqrt(area_per_node * nodes);
+  mobility::RandomWaypointParams move;
+  move.world_min = {0.0, 0.0};
+  move.world_max = {side, side};
+  move.speed_min = 2.0;
+  move.speed_max = 14.0;
+  for (int i = 0; i < nodes; ++i) {
+    world->add_node(move, std::make_unique<routing::EpidemicRouter>());
+  }
+  sim::TrafficParams traffic;  // paper defaults: 25 KB, TTL 1200 s
+  world->set_traffic(traffic);
+  return world;
+}
+
+/// Times run(duration) end to end for both worlds (the kernel dispatches
+/// inside run(), so calendar construction is part of the measured cost).
+/// Trials are INTERLEAVED like timed_ab_run, with reseed(seed) restoring
+/// bit-identical state between trials; returns {fixed_best, event_best}
+/// wall seconds.
+std::pair<double, double> timed_kernel_ab(sim::World& fixed_world,
+                                          sim::World& event_world,
+                                          double duration, int trials) {
+  double fixed_best = 1e300;
+  double event_best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    if (t > 0) {
+      fixed_world.reseed(42);
+      event_world.reseed(42);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    fixed_world.run(duration);
+    auto t1 = std::chrono::steady_clock::now();
+    fixed_best = std::min(fixed_best, std::chrono::duration<double>(t1 - t0).count());
+    t0 = std::chrono::steady_clock::now();
+    event_world.run(duration);
+    t1 = std::chrono::steady_clock::now();
+    event_best = std::min(event_best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return {fixed_best, event_best};
 }
 
 /// Heap allocations per step, after warm-up. Traffic-free isolates the
@@ -337,6 +396,72 @@ int main(int argc, char** argv) {
                   pressure_alloc_nodes, slab_pressure_allocs, list_pressure_allocs);
     json += buf;
   }
+
+  // ---- sparse-field workload: the kinetic event kernel ----
+  // 50 000 m^2/node with a 10 m radio range (mean degree ~0.006): a wide
+  // open field where contacts are rare events. The fixed-dt loop pays for
+  // every 0.1 s step regardless; the event kernel advances calendar-entry
+  // to calendar-entry. Same seed, same grid semantics: the metric bits
+  // must be IDENTICAL before the timing means anything.
+  const double sparse_density = flags.get_double("sparse-density", 50000.0);
+  const std::vector<int> kernel_nodes = smoke ? std::vector<int>{300}
+                                              : std::vector<int>{2000, 4000};
+  const double kernel_duration = smoke ? 60.0 : 600.0;
+  json += "  \"event_kernel\": {\n"
+          "    \"workload\": \"random-waypoint @ " +
+          std::to_string(static_cast<long long>(sparse_density)) +
+          " m^2/node, 10 m range, open field, epidemic routers, paper "
+          "traffic; run() timed end to end\",\n    \"points\": [\n";
+  for (std::size_t i = 0; i < kernel_nodes.size(); ++i) {
+    const int n = kernel_nodes[i];
+    std::printf("event kernel n=%d ...\n", n);
+    std::fflush(stdout);
+    auto fixed_world = bench::build_sparse_world(n, /*event_kernel=*/false,
+                                                 sparse_density);
+    auto event_world = bench::build_sparse_world(n, /*event_kernel=*/true,
+                                                 sparse_density);
+    const auto [fixed_secs, event_secs] =
+        bench::timed_kernel_ab(*fixed_world, *event_world, kernel_duration, trials);
+    if (!event_world->event_kernel_used()) {
+      std::fprintf(stderr,
+                   "FATAL: event kernel declined the sparse workload at n=%d "
+                   "— the A/B is meaningless\n", n);
+      return 1;
+    }
+    const bool same_sim =
+        fixed_world->contact_events() == event_world->contact_events() &&
+        fixed_world->step_count() == event_world->step_count() &&
+        fixed_world->metrics().created() == event_world->metrics().created() &&
+        fixed_world->metrics().delivered() == event_world->metrics().delivered() &&
+        fixed_world->metrics().relayed() == event_world->metrics().relayed() &&
+        fixed_world->metrics().dropped() == event_world->metrics().dropped() &&
+        fixed_world->metrics().expired() == event_world->metrics().expired() &&
+        fixed_world->metrics().latency_mean() == event_world->metrics().latency_mean() &&
+        fixed_world->metrics().goodput() == event_world->metrics().goodput();
+    if (!same_sim) {
+      std::fprintf(stderr,
+                   "FATAL: event-kernel metric mismatch at n=%d — the kinetic "
+                   "and fixed-dt paths diverged\n", n);
+      return 1;
+    }
+    const double grid_steps = static_cast<double>(fixed_world->step_count());
+    const double fixed_sps = grid_steps / fixed_secs;
+    const double event_sps = grid_steps / event_secs;
+    const double speedup = event_sps / fixed_sps;
+    std::printf("n=%-5d fixed-dt %9.1f steps/s | event %9.1f steps/s | %.2fx "
+                "| %lld contacts\n",
+                n, fixed_sps, event_sps, speedup,
+                static_cast<long long>(event_world->contact_events()));
+    std::fflush(stdout);
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"nodes\": %d, \"fixed_steps_per_sec\": %.1f, "
+                  "\"event_steps_per_sec\": %.1f, \"speedup\": %.2f}%s\n",
+                  n, fixed_sps, event_sps, speedup,
+                  i + 1 < kernel_nodes.size() ? "," : "");
+    json += buf;
+  }
+  json += "    ]\n  },\n";
 
   // Allocation contract: traffic-free steady state must not heap-allocate.
   // Warm-up must be long enough for the roaming nodes to have visited every

@@ -40,6 +40,7 @@ run_bench(bench_sweep ${BENCH_SWEEP} --smoke
 require_fields(BENCH_world_step.json
                bench workload steps points legacy_steps_per_sec
                incremental_steps_per_sec speedup buffer_pressure
+               event_kernel fixed_steps_per_sec event_steps_per_sec
                allocs_per_step)
 require_fields(BENCH_sweep.json
                bench campaign runs legacy_runs_per_sec reused_runs_per_sec

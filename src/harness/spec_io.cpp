@@ -140,6 +140,9 @@ std::string world_key(ScenarioSpec& spec, const std::string& key,
   if (key == "legacy_pair_sweep") {
     return set_num(w.legacy_pair_sweep, "world.legacy_pair_sweep", value);
   }
+  if (key == "event_kernel") {
+    return set_num(w.event_kernel, "world.event_kernel", value);
+  }
   return std::string("__unknown__");
 }
 
@@ -393,6 +396,7 @@ std::vector<std::string> spec_key_names(const ScenarioSpec& spec) {
       "world.buffer_bytes",  "world.ttl_sweep_interval",
       "world.legacy_contact_path", "world.legacy_buffer_path",
       "world.legacy_movement_path", "world.legacy_pair_sweep",
+      "world.event_kernel",
       "traffic.interval_min", "traffic.interval_max", "traffic.start",
       "traffic.stop",        "traffic.size_bytes", "traffic.ttl",
       "traffic.profile",     "traffic.on",        "traffic.off",
@@ -487,6 +491,7 @@ std::string to_config(const ScenarioSpec& spec) {
   if (w.legacy_buffer_path) out << "world.legacy_buffer_path = true\n";
   if (w.legacy_movement_path) out << "world.legacy_movement_path = true\n";
   if (w.legacy_pair_sweep) out << "world.legacy_pair_sweep = true\n";
+  if (w.event_kernel) out << "world.event_kernel = true\n";
 
   const sim::TrafficParams& t = spec.traffic;
   out << "\ntraffic.interval_min = " << util::format_value(t.interval_min) << "\n";

@@ -1,7 +1,9 @@
 #include "mobility/movement_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace dtn::mobility {
 
@@ -147,6 +149,7 @@ void MovementEngine::clear() {
   st_spec_.clear();
   cust_node_.clear();
   cust_model_.clear();
+  kin_seg_.clear();
 }
 
 MovementEngine::WpPick MovementEngine::pick_waypoint(const WpSpec& sp,
@@ -347,6 +350,83 @@ void MovementEngine::step_buses(double now, double dt) {
     bus_next_stop_[k] = next_stop;
     bus_speed_[k] = speed;
     bus_pause_until_[k] = pause_until;
+  }
+}
+
+void MovementEngine::kinetic_begin_travel(KineticSegment& seg, std::size_t lane,
+                                          double t) {
+  seg.t0 = t;
+  seg.paused = false;
+  const double speed = wp_speed_[lane];
+  if (speed <= 0.0) {
+    // Same terminal state as the fixed-dt kernel's `if (speed <= 0) break`:
+    // the node never moves again.
+    seg.vel = {};
+    seg.t_end = std::numeric_limits<double>::infinity();
+    return;
+  }
+  const geo::Vec2 target = wp_target_[lane];
+  const double dist = seg.origin.distance_to(target);
+  seg.vel = (target - seg.origin).normalized() * speed;
+  seg.t_end = t + dist / speed;
+}
+
+void MovementEngine::kinetic_start(double t) {
+  assert(kinetic_capable());
+  kin_seg_.resize(pos_.size());
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    KineticSegment& seg = kin_seg_[i];
+    seg.origin = pos_[i];
+    seg.t0 = t;
+    if (kind_[i] == Kind::kWaypoint || kind_[i] == Kind::kCommunity) {
+      const std::size_t lane = lane_[i];
+      if (t < wp_pause_until_[lane]) {
+        seg.vel = {};
+        seg.t_end = wp_pause_until_[lane];
+        seg.paused = true;
+      } else {
+        kinetic_begin_travel(seg, lane, t);
+      }
+    } else {  // stationary
+      seg.vel = {};
+      seg.t_end = std::numeric_limits<double>::infinity();
+      seg.paused = false;
+    }
+  }
+}
+
+const KineticSegment& MovementEngine::kinetic_advance(int node) {
+  const auto i = static_cast<std::size_t>(node);
+  KineticSegment& seg = kin_seg_[i];
+  assert(kind_[i] == Kind::kWaypoint || kind_[i] == Kind::kCommunity);
+  const std::size_t lane = lane_[i];
+  const double t = seg.t_end;
+  if (seg.paused) {
+    kinetic_begin_travel(seg, lane, t);
+    return seg;
+  }
+  // Waypoint arrival: land exactly on the target, then the same batched
+  // draw block as the fixed-dt kernel — pause, (bernoulli,) target.x,
+  // target.y, speed — in the same per-node stream order.
+  const WpSpec& sp = wp_spec_[lane];
+  pos_[i] = wp_target_[lane];
+  double u[5];
+  wp_rng_[lane].fill_doubles(u, sp.arrival_draws);
+  wp_pause_until_[lane] = t + map_uniform(sp.pause_min, sp.pause_max, u[0]);
+  const WpPick pick = pick_waypoint(sp, u, 1);
+  wp_target_[lane] = pick.target;
+  wp_speed_[lane] = pick.speed;
+  seg.origin = pos_[i];
+  seg.t0 = t;
+  seg.vel = {};
+  seg.t_end = wp_pause_until_[lane];
+  seg.paused = true;
+  return seg;
+}
+
+void MovementEngine::kinetic_sync_positions(double t) {
+  for (std::size_t i = 0; i < kin_seg_.size(); ++i) {
+    pos_[i] = kinetic_position(static_cast<int>(i), t);
   }
 }
 

@@ -42,6 +42,19 @@
 
 namespace dtn::mobility {
 
+/// One closed-form trajectory piece for the kinetic event kernel:
+/// position(t) = origin + vel * (t - t0), valid on [t0, t_end]. Pause
+/// phases (and stationary nodes) carry vel == {0,0}; a node frozen forever
+/// (stationary, or waypoint speed <= 0) has t_end == +infinity and is
+/// never advanced.
+struct KineticSegment {
+  geo::Vec2 origin;
+  geo::Vec2 vel;
+  double t0 = 0.0;
+  double t_end = 0.0;
+  bool paused = false;  ///< waiting at a waypoint (next phase: travel)
+};
+
 class MovementEngine {
  public:
   /// Registers node `size()` with an explicit lane; returns the node index.
@@ -76,6 +89,40 @@ class MovementEngine {
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return pos_.size(); }
+
+  // ---- kinetic (event-driven) trajectory interface ----
+  // Alternative to step_all() for the sim/event_kernel.hpp calendar: the
+  // engine exposes each node's current linear segment and advances nodes
+  // segment-to-segment instead of dt-by-dt. Waypoint arrivals perform the
+  // exact batched draw block of the fixed-dt kernel in the same per-node
+  // stream order, so the RNG contract cannot fork between the two paths
+  // (mobility_kinetic_segment_test pins this).
+
+  /// True when every node lives in a closed-form lane (waypoint,
+  /// community, stationary). Bus and custom nodes have no linear-segment
+  /// form, so worlds containing them must step fixed-dt.
+  [[nodiscard]] bool kinetic_capable() const noexcept {
+    return bus_node_.empty() && cust_node_.empty();
+  }
+  /// Builds every node's initial segment at time `t` from the lane state
+  /// left by init_node() (or by a previous run). Requires kinetic_capable().
+  void kinetic_start(double t);
+  [[nodiscard]] const KineticSegment& kinetic_segment(int node) const {
+    return kin_seg_[static_cast<std::size_t>(node)];
+  }
+  /// Crosses the node's segment boundary at its t_end: pause end launches
+  /// travel toward the stored waypoint; arrival lands exactly on the
+  /// target, draws the next (pause, [home,] target, speed) block, and
+  /// opens the pause segment. Returns the new segment.
+  const KineticSegment& kinetic_advance(int node);
+  /// Closed-form position of `node` at time t (t within its segment).
+  [[nodiscard]] geo::Vec2 kinetic_position(int node, double t) const {
+    const KineticSegment& seg = kin_seg_[static_cast<std::size_t>(node)];
+    return seg.origin + seg.vel * (t - seg.t0);
+  }
+  /// Writes every node's closed-form position at time t back into the
+  /// positions() array (hand-off to the fixed-dt path after a kinetic run).
+  void kinetic_sync_positions(double t);
 
   /// Drops every node, retaining lane capacity (custom-lane model objects
   /// are the only thing freed).
@@ -112,6 +159,9 @@ class MovementEngine {
   void init_bus(std::size_t lane, int node, double start_time);
   void step_waypoints(double now, double dt);
   void step_buses(double now, double dt);
+  /// Opens a travel segment from seg.origin toward the lane's stored
+  /// waypoint at time t (shared by kinetic_start and kinetic_advance).
+  void kinetic_begin_travel(KineticSegment& seg, std::size_t lane, double t);
 
   // ---- per-node (index == node id) ----
   std::vector<geo::Vec2> pos_;
@@ -143,6 +193,9 @@ class MovementEngine {
   // ---- custom lane ----
   std::vector<std::int32_t> cust_node_;
   std::vector<MovementModelPtr> cust_model_;
+
+  // ---- kinetic segments (per node; valid after kinetic_start) ----
+  std::vector<KineticSegment> kin_seg_;
 };
 
 }  // namespace dtn::mobility

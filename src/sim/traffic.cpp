@@ -95,6 +95,11 @@ double TrafficGenerator::advance(std::size_t idx, double from) {
   if (dead_entry(e)) return kInf;
   Schedule& s = schedules_[idx];
   double t = from;
+  // Accumulating `t` here is SEMANTIC, not the accumulate-instead-of-index
+  // bug fixed in World::step(): each event time is defined as the sum of
+  // independently drawn inter-arrival gaps (a random walk over the entry's
+  // stream), not a point on a derived grid. The World quantizes injection
+  // to its integer step grid when next_time() comes due.
   for (;;) {
     // weight 1 divides by exactly 1.0 — bit-neutral for legacy configs.
     t += s.rng.uniform(e.interval_min, e.interval_max) / e.weight;

@@ -4,14 +4,13 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/event_kernel.hpp"
 #include "util/log.hpp"
 
 namespace dtn::sim {
 
 World::World(WorldConfig config)
-    : config_(config),
-      next_sweep_(config.ttl_sweep_interval),
-      grid_(config.radio_range, config.legacy_pair_sweep) {}
+    : config_(config), grid_(config.radio_range, config.legacy_pair_sweep) {}
 
 World::~World() = default;
 
@@ -109,7 +108,8 @@ void World::set_traffic(const TrafficParams& params) {
 void World::clear_sim_state() {
   now_ = 0.0;
   step_count_ = 0;
-  next_sweep_ = config_.ttl_sweep_interval;
+  sweeps_done_ = 0;
+  event_kernel_used_ = false;
   started_ = false;
   for (Connection& conn : conn_pool_) {
     conn.queue.clear();
@@ -349,18 +349,43 @@ bool World::make_room(NodeIdx node, const Message& msg) {
   return true;
 }
 
+std::int64_t World::step_count_for(double duration, double step_dt) {
+  if (!(step_dt > 0.0) || !(duration > 0.0)) return 0;
+  const double ratio = duration / step_dt;
+  const double nearest = std::nearbyint(ratio);
+  // A ratio within a few ulps of an integer IS that integer: 600 / 0.1
+  // must never become 6000.0000000001 -> 6001 steps. Anything genuinely
+  // fractional rounds up so run(duration) always covers the duration.
+  const double tol = 1e-9 * std::max(1.0, std::abs(ratio));
+  if (nearest > 0.0 && std::abs(ratio - nearest) <= tol) {
+    return static_cast<std::int64_t>(nearest);
+  }
+  return static_cast<std::int64_t>(std::ceil(ratio));
+}
+
 void World::run(double duration) {
   finalize_rebuild();
   started_ = true;
-  const auto steps = static_cast<std::int64_t>(std::ceil(duration / config_.step_dt));
+  const std::int64_t steps = step_count_for(duration, config_.step_dt);
+  if (steps <= 0) return;
+  // Kinetic advance needs every trajectory in closed form; legacy bench
+  // paths opt into seed cost profiles that the calendar does not model.
+  if (config_.event_kernel && engine_.kinetic_capable() &&
+      !config_.legacy_contact_path && !config_.legacy_movement_path &&
+      !config_.legacy_pair_sweep) {
+    event_kernel_used_ = true;
+    EventKernel(*this).run(step_count_, step_count_ + steps);
+    return;
+  }
   for (std::int64_t i = 0; i < steps; ++i) step();
 }
 
 void World::step() {
   finalize_rebuild();
   started_ = true;
-  now_ += config_.step_dt;
   ++step_count_;
+  // Time grid contract: step k happens at exactly k * step_dt.
+  now_ = static_cast<double>(step_count_) * config_.step_dt;
   move_nodes();
   if (config_.legacy_contact_path) {
     detect_contacts_legacy();
@@ -369,16 +394,16 @@ void World::step() {
   }
   generate_traffic();
   progress_transfers();
-  if (now_ >= next_sweep_) {
+  if (now_ >= static_cast<double>(sweeps_done_ + 1) * config_.ttl_sweep_interval) {
     sweep_expired();
-    next_sweep_ += config_.ttl_sweep_interval;
+    ++sweeps_done_;
     for (auto& node : nodes_) node.router->on_tick(now_);
   }
 }
 
 void World::move_nodes() {
   const double dt = config_.step_dt;
-  engine_.step_all(now_ - dt, dt);
+  engine_.step_all(static_cast<double>(step_count_ - 1) * dt, dt);
 }
 
 void World::link_up(NodeIdx a, NodeIdx b) {

@@ -86,6 +86,15 @@ struct WorldConfig {
   /// of the occupied-cell index. Identical pair sets / observable behavior;
   /// only for benchmarking the occupied-index sweep. Set before run().
   bool legacy_pair_sweep = false;
+  /// Kinetic (event-driven) time advance: run() consumes a calendar of
+  /// analytically predicted contact/waypoint/cell-crossing events instead
+  /// of scanning every fixed step (sim/event_kernel.hpp). Observable
+  /// actions stay quantized to the step_dt grid, so metrics are
+  /// bit-identical to the fixed-dt loop on closed-form workloads
+  /// (sim_event_kernel_test). Falls back to fixed-dt stepping when a node
+  /// has no closed-form trajectory (bus/custom movement) or when a
+  /// legacy_* bench path is engaged. Set before run().
+  bool event_kernel = false;
 };
 
 class World {
@@ -139,6 +148,17 @@ class World {
   /// Advances a single step (exposed for tests and incremental drivers).
   void step();
 
+  /// Number of whole step_dt steps covering `duration`. Tolerance-aware:
+  /// ratios within a few ulps of an integer count as that integer, so
+  /// duration = 600 with dt = 0.1 is always exactly 6000 steps regardless
+  /// of how 600/0.1 rounds; genuinely fractional ratios round up.
+  [[nodiscard]] static std::int64_t step_count_for(double duration, double step_dt);
+  /// Steps executed so far; sim time is exactly step_count() * step_dt.
+  [[nodiscard]] std::int64_t step_count() const noexcept { return step_count_; }
+  /// True when the last run() advanced via the kinetic event kernel rather
+  /// than the fixed-dt loop (i.e. event_kernel was set and no fallback hit).
+  [[nodiscard]] bool event_kernel_used() const noexcept { return event_kernel_used_; }
+
   // ---- router-facing services ----
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] NodeIdx node_count() const noexcept {
@@ -180,6 +200,10 @@ class World {
   }
 
  private:
+  /// The kinetic kernel replays the exact step-grid semantics through the
+  /// World's own link/traffic/transfer/sweep machinery.
+  friend class EventKernel;
+
   struct Transfer {
     NodeIdx from = -1;
     NodeIdx to = -1;
@@ -293,9 +317,15 @@ class World {
   bool make_room(NodeIdx node, const Message& msg);
 
   WorldConfig config_;
+  /// Sim time is DERIVED: always step_count_ * step_dt, never accumulated
+  /// (`now_ += dt` drifted against the sweep/traffic boundaries).
   double now_ = 0.0;
   std::int64_t step_count_ = 0;
-  double next_sweep_ = 0.0;
+  /// TTL sweeps fired so far; the next fires at the first step whose time
+  /// reaches (sweeps_done_ + 1) * ttl_sweep_interval (integer-indexed, no
+  /// accumulated next-sweep clock).
+  std::int64_t sweeps_done_ = 0;
+  bool event_kernel_used_ = false;
   std::vector<Node> nodes_;
   mobility::MovementEngine engine_;  ///< SoA positions + trajectory state
   geo::SpatialGrid grid_;

@@ -1,0 +1,208 @@
+// Kinetic (closed-form) trajectory interface vs the fixed-dt kernel. The
+// event kernel replaces per-step position updates with per-segment linear
+// motion; these tests drive the SAME lane state down both paths:
+//   - positions agree at every grid time (near-equality: the fixed-dt path
+//     accumulates `pos += vel * dt`, the kinetic path evaluates
+//     `origin + vel * (t - t0)` — identical mathematics, ulp-level drift);
+//   - the waypoint/pause/draw sequence is identical, because any fork in
+//     the RNG stream (a skipped or extra draw block) diverges the
+//     trajectories by meters, far beyond the comparison tolerance;
+//   - capability gating: bus and custom lanes have no closed form and must
+//     disable the kinetic path.
+#include "mobility/movement_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "geo/polyline.hpp"
+#include "mobility/stationary.hpp"
+#include "util/rng.hpp"
+
+namespace dtn::mobility {
+namespace {
+
+constexpr double kDt = 0.1;
+
+util::Pcg32 stream(std::uint64_t node) {
+  return util::derive_stream(777, node, util::StreamPurpose::kMovement);
+}
+
+/// Advances node 0's kinetic segments of `engine` up to (and including)
+/// phase boundaries at time `t`, then returns its closed-form position.
+geo::Vec2 kinetic_position_at(MovementEngine& engine, double t) {
+  // Zero-length pause segments (pause_min = pause_max = 0) make several
+  // boundaries share one timestamp; each advance still makes progress
+  // (pause -> travel -> arrival -> pause), so this loop terminates.
+  while (engine.kinetic_segment(0).t_end <= t) engine.kinetic_advance(0);
+  return engine.kinetic_position(0, t);
+}
+
+/// Runs two engines built with identical lane state — `stepped` fixed-dt,
+/// `kinetic` segment-to-segment — and requires positional agreement on
+/// every grid time. Tolerance covers fixed-dt accumulation drift only; a
+/// forked draw sequence diverges by whole map widths.
+void expect_paths_agree(MovementEngine& stepped, MovementEngine& kinetic,
+                        int steps, double tol) {
+  kinetic.kinetic_start(0.0);
+  ASSERT_EQ(stepped.position(0), kinetic.position(0)) << "diverged at init";
+  double max_err = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double t0 = static_cast<double>(i) * kDt;
+    const double t1 = static_cast<double>(i + 1) * kDt;
+    stepped.step_all(t0, kDt);
+    const geo::Vec2 want = stepped.position(0);
+    const geo::Vec2 got = kinetic_position_at(kinetic, t1);
+    ASSERT_NEAR(got.x, want.x, tol) << "x diverged at step " << i;
+    ASSERT_NEAR(got.y, want.y, tol) << "y diverged at step " << i;
+    max_err = std::max({max_err, std::abs(got.x - want.x),
+                        std::abs(got.y - want.y)});
+  }
+  // The agreement must be numerical-noise-level, not merely "same shape":
+  // if this starts approaching the tolerance the two kernels no longer
+  // compute the same trajectory.
+  EXPECT_LT(max_err, tol);
+}
+
+TEST(KineticSegment, WaypointLaneMatchesFixedDtPath) {
+  RandomWaypointParams p;
+  p.world_max = {400.0, 300.0};
+  p.speed_min = 2.0;
+  p.speed_max = 14.0;
+  p.pause_min = 1.0;
+  p.pause_max = 20.0;
+  MovementEngine stepped, kinetic;
+  ASSERT_EQ(stepped.add_waypoint(p), 0);
+  ASSERT_EQ(kinetic.add_waypoint(p), 0);
+  stepped.init_node(0, stream(0), 0.0);
+  kinetic.init_node(0, stream(0), 0.0);
+  EXPECT_TRUE(kinetic.kinetic_capable());
+  // Hundreds of waypoint events: every arrival draw block must line up.
+  expect_paths_agree(stepped, kinetic, 20000, 1e-6);
+}
+
+TEST(KineticSegment, ZeroPauseWaypointLaneMatchesFixedDtPath) {
+  // pause_min = pause_max = 0 produces zero-length pause segments — the
+  // degenerate boundary the event kernel must step through without stalling.
+  RandomWaypointParams p;
+  p.world_max = {200.0, 200.0};
+  p.speed_min = 5.0;
+  p.speed_max = 10.0;
+  MovementEngine stepped, kinetic;
+  ASSERT_EQ(stepped.add_waypoint(p), 0);
+  ASSERT_EQ(kinetic.add_waypoint(p), 0);
+  stepped.init_node(0, stream(4), 0.0);
+  kinetic.init_node(0, stream(4), 0.0);
+  expect_paths_agree(stepped, kinetic, 20000, 1e-6);
+}
+
+TEST(KineticSegment, CommunityLaneMatchesFixedDtPath) {
+  CommunityMovementParams p;
+  p.world_max = {2000.0, 2000.0};
+  p.home_min = {500.0, 0.0};
+  p.home_max = {1000.0, 2000.0};
+  p.home_prob = 0.85;
+  MovementEngine stepped, kinetic;
+  ASSERT_EQ(stepped.add_community(p), 0);
+  ASSERT_EQ(kinetic.add_community(p), 0);
+  stepped.init_node(0, stream(3), 0.0);
+  kinetic.init_node(0, stream(3), 0.0);
+  EXPECT_TRUE(kinetic.kinetic_capable());
+  expect_paths_agree(stepped, kinetic, 20000, 1e-5);
+}
+
+TEST(KineticSegment, SegmentInvariantsHoldAcrossPhases) {
+  RandomWaypointParams p;
+  p.world_max = {100.0, 100.0};
+  p.speed_min = 1.0;
+  p.speed_max = 2.0;
+  p.pause_min = 5.0;
+  p.pause_max = 10.0;
+  MovementEngine engine;
+  ASSERT_EQ(engine.add_waypoint(p), 0);
+  engine.init_node(0, stream(9), 0.0);
+  engine.kinetic_start(0.0);
+  double t = 0.0;
+  bool saw_pause = false;
+  bool saw_travel = false;
+  for (int events = 0; events < 200; ++events) {
+    const KineticSegment& seg = engine.kinetic_segment(0);
+    ASSERT_GE(seg.t_end, seg.t0);
+    ASSERT_GE(seg.t0, t) << "segments must advance monotonically";
+    t = seg.t0;
+    if (seg.paused) {
+      saw_pause = true;
+      EXPECT_EQ(seg.vel.x, 0.0);
+      EXPECT_EQ(seg.vel.y, 0.0);
+    } else {
+      saw_travel = true;
+      const double speed = std::sqrt(seg.vel.x * seg.vel.x + seg.vel.y * seg.vel.y);
+      EXPECT_GE(speed, p.speed_min - 1e-12);
+      EXPECT_LE(speed, p.speed_max + 1e-12);
+    }
+    engine.kinetic_advance(0);
+  }
+  EXPECT_TRUE(saw_pause);
+  EXPECT_TRUE(saw_travel);
+}
+
+TEST(KineticSegment, StationaryNodeNeverAdvances) {
+  MovementEngine engine;
+  StationaryNodeSpec spec;
+  spec.pos = {42.0, 17.0};
+  ASSERT_EQ(engine.add_stationary(spec), 0);
+  engine.init_node(0, stream(1), 0.0);
+  EXPECT_TRUE(engine.kinetic_capable());
+  engine.kinetic_start(0.0);
+  const KineticSegment& seg = engine.kinetic_segment(0);
+  EXPECT_EQ(seg.vel.x, 0.0);
+  EXPECT_EQ(seg.vel.y, 0.0);
+  EXPECT_EQ(seg.t_end, std::numeric_limits<double>::infinity());
+  const geo::Vec2 at0 = engine.kinetic_position(0, 0.0);
+  const geo::Vec2 at1e6 = engine.kinetic_position(0, 1e6);
+  EXPECT_EQ(at0.x, at1e6.x);
+  EXPECT_EQ(at0.y, at1e6.y);
+}
+
+TEST(KineticSegment, SyncPositionsHandsBackToFixedDt) {
+  RandomWaypointParams p;
+  p.world_max = {300.0, 300.0};
+  MovementEngine engine;
+  ASSERT_EQ(engine.add_waypoint(p), 0);
+  engine.init_node(0, stream(2), 0.0);
+  engine.kinetic_start(0.0);
+  const double t = 12.7;
+  const geo::Vec2 want = kinetic_position_at(engine, t);
+  engine.kinetic_sync_positions(t);
+  EXPECT_EQ(engine.position(0).x, want.x);
+  EXPECT_EQ(engine.position(0).y, want.y);
+}
+
+TEST(KineticSegment, BusAndCustomLanesDisableTheKineticPath) {
+  {
+    MovementEngine engine;
+    auto route = std::make_shared<const geo::Polyline>(
+        std::vector<geo::Vec2>{{0.0, 0.0}, {100.0, 0.0}});
+    engine.add_bus(route, BusParams{});
+    EXPECT_FALSE(engine.kinetic_capable());
+  }
+  {
+    MovementEngine engine;
+    engine.add_custom(std::make_unique<Stationary>(geo::Vec2{1.0, 2.0}));
+    EXPECT_FALSE(engine.kinetic_capable());
+  }
+  {
+    // Waypoint + stationary only: capable.
+    MovementEngine engine;
+    engine.add_waypoint(RandomWaypointParams{});
+    engine.add_stationary(StationaryNodeSpec{});
+    EXPECT_TRUE(engine.kinetic_capable());
+  }
+}
+
+}  // namespace
+}  // namespace dtn::mobility

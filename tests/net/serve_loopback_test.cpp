@@ -130,6 +130,12 @@ class ServeLoopbackTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = ::testing::TempDir() + "serve_loopback/";
+    // Scrub state left by previous invocations: the campaign fingerprint
+    // deliberately ignores the binary's version, so a daemon pointed at a
+    // stale scratch dir would --resume metric bits computed by an OLDER
+    // build and the byte-identity assertions would compare across builds.
+    std::error_code scrub_error;
+    std::filesystem::remove_all(dir_, scrub_error);
     std::filesystem::create_directories(dir_);
     std::remove((dir_ + "clean.json").c_str());
     ASSERT_EQ(run_driver({"--out", dir_ + "clean.json"}), 0);

@@ -1,0 +1,167 @@
+// The floating-point time grid, pinned. The fixed-dt loop derives sim time
+// from the integer step index (now = k * dt) and sizes runs with a
+// tolerance-aware step count, so none of the classic accumulation bugs can
+// come back:
+//   - duration 600 at dt 0.1 must be exactly 6000 steps, never 6001
+//     (600/0.1 rounds to 6000.000000000001 in binary, and a bare ceil
+//     manufactured a phantom step);
+//   - now() must be bitwise equal to step_count() * dt at every step, with
+//     no drift against sweep or traffic boundaries;
+//   - the TTL sweep at interval 1.0 with dt 0.1 must fire at step 10
+//     (t = 1.0), not step 11 (the accumulated 0.1-sum overshoots 1.0).
+#include "sim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "../test_support.hpp"
+
+namespace dtn::sim {
+namespace {
+
+using test::RecordingRouter;
+using test::pinned;
+using test::test_world_config;
+
+TEST(TimeGrid, CanonicalPaperGridHasNoPhantomStep) {
+  // THE motivating case: update interval 0.1 s over 600 s (paper Sec. V-A)
+  // must be exactly 6000 steps on every platform, however 600/0.1 rounds.
+  EXPECT_EQ(World::step_count_for(600.0, 0.1), 6000);
+  // The phantom-step hazard is real: a duration computed as 3 * 0.1
+  // (what callers actually do) divided back by 0.1 gives
+  // 3.0000000000000004, so a bare ceil manufactures a 4th step.
+  const double three_steps = 3 * 0.1;
+  EXPECT_EQ(static_cast<std::int64_t>(std::ceil(three_steps / 0.1)), 4);
+  EXPECT_EQ(World::step_count_for(three_steps, 0.1), 3);
+}
+
+TEST(TimeGrid, AwkwardExactRatios) {
+  // Every (k * dt, dt) pair whose quotient is not exact in binary.
+  EXPECT_EQ(World::step_count_for(0.9, 0.3), 3);
+  EXPECT_EQ(World::step_count_for(0.3, 0.1), 3);
+  EXPECT_EQ(World::step_count_for(0.7, 0.1), 7);
+  EXPECT_EQ(World::step_count_for(1.0, 1.0 / 3.0), 3);
+  EXPECT_EQ(World::step_count_for(8000.0, 0.1), 80000);
+  EXPECT_EQ(World::step_count_for(86400.0, 0.1), 864000);
+  EXPECT_EQ(World::step_count_for(1.0, 0.001), 1000);
+  EXPECT_EQ(World::step_count_for(600.0, 0.05), 12000);
+}
+
+TEST(TimeGrid, FractionalRatiosRoundUp) {
+  // Genuinely fractional ratios still cover the duration: ceil, not round.
+  EXPECT_EQ(World::step_count_for(1.05, 0.5), 3);
+  EXPECT_EQ(World::step_count_for(0.25, 0.1), 3);
+  EXPECT_EQ(World::step_count_for(10.0, 3.0), 4);
+}
+
+TEST(TimeGrid, DegenerateInputsYieldZeroSteps) {
+  EXPECT_EQ(World::step_count_for(0.0, 0.1), 0);
+  EXPECT_EQ(World::step_count_for(-5.0, 0.1), 0);
+  EXPECT_EQ(World::step_count_for(10.0, 0.0), 0);
+  EXPECT_EQ(World::step_count_for(10.0, -0.1), 0);
+}
+
+TEST(TimeGrid, PropertySweepOverAwkwardPairs) {
+  // For every dt in a bank of awkward binary values and every integer step
+  // count k, step_count_for(k * dt, dt) must return exactly k — the
+  // round-trip property the tolerance exists for. (k * dt is computed in
+  // double, so this is precisely the caller's situation: a duration that
+  // SHOULD be k steps but whose quotient wobbles at the last bit.)
+  const double dts[] = {0.1,  0.2,  0.3,  0.05, 0.025, 0.7,
+                        1.0 / 3.0, 0.9, 1.5,  2.5,  0.001};
+  for (const double dt : dts) {
+    for (const std::int64_t k :
+         {std::int64_t{1}, std::int64_t{2}, std::int64_t{3}, std::int64_t{7},
+          std::int64_t{10}, std::int64_t{100}, std::int64_t{999},
+          std::int64_t{6000}, std::int64_t{86400}, std::int64_t{1000000}}) {
+      const double duration = static_cast<double>(k) * dt;
+      EXPECT_EQ(World::step_count_for(duration, dt), k)
+          << "dt=" << dt << " k=" << k;
+    }
+  }
+}
+
+TEST(TimeGrid, NowIsDerivedFromStepIndexBitwise) {
+  WorldConfig config = test_world_config();
+  World world(config);
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<RecordingRouter>());
+  double prev = -1.0;
+  for (int i = 1; i <= 1000; ++i) {
+    world.step();
+    EXPECT_EQ(world.step_count(), i);
+    // Bitwise: now() is i * dt by construction, not an accumulated sum.
+    EXPECT_EQ(world.now(), static_cast<double>(i) * config.step_dt);
+    EXPECT_GT(world.now(), prev);
+    prev = world.now();
+  }
+}
+
+TEST(TimeGrid, RunLandsExactlyOnTheGrid) {
+  WorldConfig config = test_world_config();
+  World world(config);
+  world.add_node(pinned({0.0, 0.0}), std::make_unique<RecordingRouter>());
+  world.run(600.0);
+  EXPECT_EQ(world.step_count(), 6000);
+  EXPECT_EQ(world.now(), 6000.0 * config.step_dt);
+  // Continuing with a second run() stays on the same grid.
+  world.run(0.5);
+  EXPECT_EQ(world.step_count(), 6005);
+  EXPECT_EQ(world.now(), 6005.0 * config.step_dt);
+}
+
+/// Counts on_tick callbacks, which World emits once per TTL sweep.
+class TickCountingRouter : public RecordingRouter {
+ public:
+  void on_tick(double now) override { tick_times.push_back(now); }
+  void reset() override { tick_times.clear(); }
+  std::vector<double> tick_times;
+};
+
+TEST(TimeGrid, SweepFiresOnTheBoundaryStepNotAfterIt) {
+  WorldConfig config = test_world_config();
+  config.ttl_sweep_interval = 1.0;  // boundary every 10 steps at dt = 0.1
+  World world(config);
+  auto router = std::make_unique<TickCountingRouter>();
+  TickCountingRouter* r = router.get();
+  world.add_node(pinned({0.0, 0.0}), std::move(router));
+
+  for (int i = 0; i < 9; ++i) world.step();
+  EXPECT_TRUE(r->tick_times.empty());  // t = 0.9: not yet
+  world.step();                        // step 10, t = 1.0 exactly
+  ASSERT_EQ(r->tick_times.size(), 1u)
+      << "sweep must fire at step 10 (t = 1.0), not drift to step 11";
+  EXPECT_EQ(r->tick_times[0], 1.0);
+
+  // Long haul: every boundary hit exactly once, at its exact grid time.
+  for (int i = 10; i < 1000; ++i) world.step();
+  ASSERT_EQ(r->tick_times.size(), 100u);
+  for (std::size_t s = 0; s < r->tick_times.size(); ++s) {
+    EXPECT_EQ(r->tick_times[s], static_cast<double>(s + 1) * 1.0);
+  }
+}
+
+TEST(TimeGrid, SweepCountMatchesAcrossReseed) {
+  // sweeps_done_ is per-run state: a reseeded world must fire the same
+  // sweep schedule as a fresh one.
+  WorldConfig config = test_world_config();
+  config.ttl_sweep_interval = 1.0;
+  World world(config);
+  auto router = std::make_unique<TickCountingRouter>();
+  TickCountingRouter* r = router.get();
+  world.add_node(pinned({0.0, 0.0}), std::move(router));
+  world.run(10.0);
+  ASSERT_EQ(r->tick_times.size(), 10u);
+  world.reseed(2);
+  EXPECT_TRUE(r->tick_times.empty());  // Router::reset() cleared the log
+  world.run(10.0);
+  EXPECT_EQ(r->tick_times.size(), 10u);
+  EXPECT_EQ(r->tick_times.front(), 1.0);
+  EXPECT_EQ(r->tick_times.back(), 10.0);
+}
+
+}  // namespace
+}  // namespace dtn::sim
